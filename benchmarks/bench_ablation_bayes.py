@@ -1,0 +1,63 @@
+"""Ablation: Bayesian BER regularization in the search (paper Sec. 4.4).
+
+"BER is probabilistic by nature and interpolation can lead to
+inaccurate conclusions especially if simulation times are kept short."
+This ablation runs the same Viterbi search with and without the
+Bayesian neighbor posterior and compares the winners and the evaluation
+effort: with short simulation budgets, the regularized search should be
+at least as reliable at finding a feasible, small instance.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import BERThresholdCurve, SearchConfig
+from repro.viterbi import ViterbiMetaCore, ViterbiSpec, describe_point
+
+
+def _run(use_bayes: bool):
+    spec = ViterbiSpec(
+        throughput_bps=2e6,
+        ber_curve=BERThresholdCurve.single(3.0, 1e-3),
+    )
+    metacore = ViterbiMetaCore(
+        spec,
+        fixed={"G": "standard", "N": 1},
+        config=SearchConfig(
+            max_resolution=2, refine_top_k=3, use_bayesian_ber=use_bayes
+        ),
+    )
+    return metacore.search()
+
+
+def _run_both():
+    return _run(True), _run(False)
+
+
+@pytest.mark.benchmark(group="ablation-bayes")
+def test_ablation_bayesian_regularization(benchmark, report):
+    with_bayes, without_bayes = benchmark.pedantic(
+        _run_both, rounds=1, iterations=1
+    )
+    report("Ablation — Bayesian BER posterior on/off (BER<=1e-3 @ 3 dB, 2 Mbps)")
+    for label, result in (("bayes on", with_bayes), ("bayes off", without_bayes)):
+        area = (
+            f"{result.best_metrics['area_mm2']:.2f}"
+            if result.feasible
+            else "infeasible"
+        )
+        point = (
+            describe_point(result.best_point) if result.best_point else "-"
+        )
+        report(
+            f"  {label:10s} evals={result.log.n_evaluations:4d} "
+            f"area={area:>10s}  {point}"
+        )
+    # The regularized search must succeed and be competitive.
+    assert with_bayes.feasible
+    if without_bayes.feasible:
+        assert (
+            with_bayes.best_metrics["area_mm2"]
+            <= without_bayes.best_metrics["area_mm2"] * 1.25
+        )

@@ -1,0 +1,89 @@
+"""Ablation: multiresolution search vs baselines (paper Sec. 4.4).
+
+The paper motivates the multiresolution search with the infeasibility
+of exhaustive enumeration over ~10^8 points and justifies its greedy
+pruning with speed.  This ablation runs the multiresolution search,
+random sampling at the same evaluation budget, and simulated annealing
+on the identical Viterbi cost evaluator, then compares result quality
+and evaluation counts.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import (
+    BERThresholdCurve,
+    RandomSearch,
+    SearchConfig,
+    SimulatedAnnealing,
+)
+from repro.viterbi import (
+    ViterbiMetaCore,
+    ViterbiMetacoreEvaluator,
+    ViterbiSpec,
+)
+from repro.viterbi.metacore import normalize_viterbi_point
+
+
+def _spec() -> ViterbiSpec:
+    return ViterbiSpec(
+        throughput_bps=2e6,
+        ber_curve=BERThresholdCurve.single(3.0, 1e-3),
+    )
+
+
+def _run_all():
+    spec = _spec()
+    metacore = ViterbiMetaCore(
+        spec,
+        fixed={"G": "standard", "N": 1},
+        config=SearchConfig(max_resolution=2, refine_top_k=3),
+    )
+    multires = metacore.search()
+    budget = multires.log.n_evaluations
+    space = metacore.design_space()
+    random_result = RandomSearch(
+        space, spec.goal(), ViterbiMetacoreEvaluator(spec),
+        fidelity=0, normalizer=normalize_viterbi_point,
+    ).run(n_samples=budget, seed=11)
+    annealing_result = SimulatedAnnealing(
+        space, spec.goal(), ViterbiMetacoreEvaluator(spec),
+        fidelity=0, normalizer=normalize_viterbi_point,
+    ).run(n_steps=budget, seed=11)
+    return multires, random_result, annealing_result, budget
+
+
+@pytest.mark.benchmark(group="ablation-search")
+def test_ablation_search_strategies(benchmark, report):
+    multires, random_result, annealing_result, budget = benchmark.pedantic(
+        _run_all, rounds=1, iterations=1
+    )
+    report("Ablation — search strategy comparison (Viterbi MetaCore, "
+           "BER<=1e-3 @ 3 dB, 2 Mbps)")
+    report(f"{'method':>16s} {'evals':>6s} {'feasible':>9s} {'area mm^2':>10s}")
+    for result in (multires, random_result, annealing_result):
+        area = (
+            f"{result.best_metrics['area_mm2']:.2f}"
+            if result.best is not None and result.feasible
+            else "-"
+        )
+        report(
+            f"{result.method:>16s} {result.log.n_evaluations:6d} "
+            f"{str(result.feasible):>9s} {area:>10s}"
+        )
+    # The multiresolution search must find a feasible instance within
+    # its (small) budget...
+    assert multires.feasible
+    assert budget < 2000
+    # ...and match or beat both baselines at comparable budgets.
+    if random_result.feasible:
+        assert (
+            multires.best_metrics["area_mm2"]
+            <= random_result.best_metrics["area_mm2"] * 1.15
+        )
+    if annealing_result.feasible:
+        assert (
+            multires.best_metrics["area_mm2"]
+            <= annealing_result.best_metrics["area_mm2"] * 1.15
+        )

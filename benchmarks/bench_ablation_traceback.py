@@ -1,0 +1,65 @@
+"""Ablation: trace-back depth L (paper Sec. 4.1).
+
+"Our experiments have shown that in most cases, trellis depths larger
+than 7*K do not have any significant impact on BER."  This ablation
+sweeps L in multiples of K and checks that BER improves sharply up to
+a few K and saturates by 7K, while path-memory area keeps growing —
+the reason L is a worthwhile search dimension.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import scaled_bits
+from repro.hardware import ViterbiInstanceParams, optimize_machine, viterbi_program
+from repro.viterbi import (
+    BERSimulator,
+    ConvolutionalEncoder,
+    HardQuantizer,
+    Trellis,
+    ViterbiDecoder,
+)
+
+K = 5
+L_MULTIPLES = [1, 2, 3, 5, 7, 10]
+ES_N0_DB = 2.0
+
+
+def _run():
+    encoder = ConvolutionalEncoder(K)
+    trellis = Trellis.from_encoder(encoder)
+    simulator = BERSimulator(encoder, frame_length=256)
+    rows = []
+    for multiple in L_MULTIPLES:
+        depth = multiple * K
+        decoder = ViterbiDecoder(trellis, HardQuantizer(), depth)
+        ber = simulator.measure(
+            decoder, ES_N0_DB, max_bits=scaled_bits(80_000), target_errors=500
+        ).ber
+        area = optimize_machine(
+            viterbi_program(ViterbiInstanceParams(K, depth, 1)), 1e6
+        ).area_mm2
+        rows.append((multiple, depth, ber, area))
+    return rows
+
+
+@pytest.mark.benchmark(group="ablation-traceback")
+def test_ablation_traceback_depth(benchmark, report):
+    rows = benchmark.pedantic(_run, rounds=1, iterations=1)
+    report(f"Ablation — trace-back depth sweep (K={K}, hard decision, "
+           f"Es/N0={ES_N0_DB} dB)")
+    report(f"{'L/K':>4s} {'L':>4s} {'BER':>11s} {'area mm^2':>10s}")
+    for multiple, depth, ber, area in rows:
+        report(f"{multiple:4d} {depth:4d} {ber:11.3e} {area:10.3f}")
+    bers = {multiple: ber for multiple, _, ber, _ in rows}
+    areas = [area for *_, area in rows]
+    # Short trace-back is clearly bad.
+    assert bers[1] > 2.0 * bers[5]
+    # Beyond 5K the curve has saturated: 7K and 10K sit within
+    # Monte-Carlo noise of each other and of 5K (the paper's "depths
+    # larger than 7K have no significant impact").
+    saturated = [bers[5], bers[7], bers[10]]
+    assert max(saturated) < 2.5 * min(saturated)
+    # Path memory keeps costing area though.
+    assert areas[-1] > areas[0]

@@ -1,0 +1,60 @@
+"""Extension: punctured-rate sweep on one Viterbi core.
+
+Not a paper table — an extension exercising the general code rate k/n
+of Sec. 3.1.  The shape to hold: at fixed Es/N0, BER degrades
+monotonically as puncturing removes redundancy, while the decoder
+hardware (trellis, datapath) stays identical.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import scaled_bits
+from repro.viterbi import (
+    AdaptiveQuantizer,
+    BERSimulator,
+    ConvolutionalEncoder,
+    STANDARD_PATTERNS,
+    Trellis,
+    ViterbiDecoder,
+)
+
+ES_N0_DB = 4.0
+RATES = ["1/2", "2/3", "3/4", "5/6", "7/8"]
+
+
+def _run():
+    encoder = ConvolutionalEncoder(7)
+    decoder = ViterbiDecoder(
+        Trellis.from_encoder(encoder), AdaptiveQuantizer(3), 49
+    )
+    rows = []
+    for rate in RATES:
+        simulator = BERSimulator(
+            encoder, frame_length=280, puncture=STANDARD_PATTERNS[rate]
+        )
+        point = simulator.measure(
+            decoder, ES_N0_DB, max_bits=scaled_bits(60_000),
+            target_errors=300,
+        )
+        rows.append((rate, point))
+    return rows
+
+
+@pytest.mark.benchmark(group="extension-puncturing")
+def test_extension_punctured_rates(benchmark, report):
+    rows = benchmark.pedantic(_run, rounds=1, iterations=1)
+    report(f"Extension — punctured rates, K=7 soft decoding, "
+           f"Es/N0={ES_N0_DB} dB")
+    report(f"{'rate':>5s} {'BER':>12s} {'errors/bits':>16s}")
+    for rate, point in rows:
+        report(f"{rate:>5s} {point.ber:12.3e} "
+               f"{point.errors:>7d}/{point.bits}")
+    bers = [point.ber for _, point in rows]
+    # Monotone degradation with rate (allowing zero-error ties at the
+    # strong end).
+    for previous, current in zip(bers, bers[1:]):
+        assert current >= previous
+    assert bers[-1] > bers[0]
+    assert bers[-1] > 10 * max(bers[0], 1e-7)

@@ -1,0 +1,79 @@
+"""Figure 1: BER vs Es/N0 for the three Table-1 Viterbi instances.
+
+The paper's point: despite a ~7x area spread (Table 1), "all three
+cases exhibit comparable BER curves".  We regenerate the three curves
+by Monte-Carlo simulation and assert they stay within about an order of
+magnitude of one another across the sweep while all improving steeply
+with SNR.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import scaled_bits
+from repro.viterbi import BERSimulator, ConvolutionalEncoder, build_decoder
+
+SNR_GRID_DB = [0.0, 1.0, 2.0, 3.0, 4.0]
+
+#: The Table-1 instances expressed as MetaCore design points.
+INSTANCES = [
+    (
+        "K=3 R=3 soft",
+        {"K": 3, "L_mult": 2, "G": "standard", "R1": 3, "R2": 4,
+         "Q": "adaptive", "N": 1, "M": 0},
+    ),
+    (
+        "K=5 multires M=8",
+        {"K": 5, "L_mult": 5, "G": "standard", "R1": 1, "R2": 3,
+         "Q": "adaptive", "N": 1, "M": 8},
+    ),
+    (
+        "K=7 multires M=4",
+        {"K": 7, "L_mult": 5, "G": "standard", "R1": 1, "R2": 3,
+         "Q": "adaptive", "N": 1, "M": 4},
+    ),
+]
+
+
+def _sweeps():
+    sweeps = []
+    for label, point in INSTANCES:
+        simulator = BERSimulator(
+            ConvolutionalEncoder(point["K"]), frame_length=256
+        )
+        sweep = simulator.sweep(
+            build_decoder(point),
+            SNR_GRID_DB,
+            max_bits=scaled_bits(60_000),
+            target_errors=300,
+            label=label,
+        )
+        sweeps.append(sweep)
+    return sweeps
+
+
+@pytest.mark.benchmark(group="figure1")
+def test_figure1_ber_curves_comparable(benchmark, report):
+    sweeps = benchmark.pedantic(_sweeps, rounds=1, iterations=1)
+    report("Figure 1 — BER vs Es/N0 for the Table-1 instances")
+    header = f"{'Es/N0 dB':>9s}" + "".join(
+        f"{s.label:>22s}" for s in sweeps
+    )
+    report(header)
+    for i, snr in enumerate(SNR_GRID_DB):
+        row = f"{snr:9.1f}" + "".join(
+            f"{s.points[i].ber:22.3e}" for s in sweeps
+        )
+        report(row)
+    # Shape 1: every curve decreases steeply with SNR.
+    for sweep in sweeps:
+        bers = sweep.ber
+        assert bers[0] > bers[-1]
+        assert bers[0] / max(bers[-1], 1e-9) > 10
+    # Shape 2: the three instances stay comparable (within ~1.5 orders
+    # of magnitude) at the low-to-mid SNR points where statistics are
+    # reliable.
+    for i in range(3):
+        values = [s.points[i].ber for s in sweeps if s.points[i].ber > 0]
+        assert max(values) / min(values) < 30.0

@@ -1,0 +1,54 @@
+"""Figure 4: adaptive soft quantization.
+
+The paper's Fig. 4 shows a 3-bit (8-level) uniform quantizer whose
+decision level D is derived from Es/N0.  We regenerate the decision
+thresholds across an Es/N0 sweep and check the defining properties:
+8 levels, symmetric thresholds at integer multiples of D, and D
+tracking the noise standard deviation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.viterbi import AdaptiveQuantizer, noise_sigma
+
+SNR_GRID_DB = [0.0, 2.0, 4.0, 6.0]
+
+
+def _threshold_table():
+    quantizer = AdaptiveQuantizer(3)
+    rows = []
+    for es_n0_db in SNR_GRID_DB:
+        sigma = noise_sigma(es_n0_db)
+        rows.append(
+            (
+                es_n0_db,
+                sigma,
+                quantizer.decision_level(sigma),
+                quantizer.thresholds(sigma),
+            )
+        )
+    return quantizer, rows
+
+
+@pytest.mark.benchmark(group="figure4")
+def test_figure4_adaptive_quantizer_levels(benchmark, report):
+    quantizer, rows = benchmark.pedantic(_threshold_table, rounds=1, iterations=1)
+    report("Figure 4 — adaptive 3-bit quantizer decision levels")
+    report(f"{'Es/N0 dB':>9s} {'sigma':>8s} {'D':>8s}  thresholds")
+    for es_n0_db, sigma, decision, thresholds in rows:
+        pretty = ", ".join(f"{t:+.3f}" for t in thresholds)
+        report(f"{es_n0_db:9.1f} {sigma:8.3f} {decision:8.3f}  [{pretty}]")
+    assert quantizer.n_levels == 8
+    for es_n0_db, sigma, decision, thresholds in rows:
+        # D is derived from the channel's Es/N0 (via sigma).
+        assert decision == pytest.approx(0.5 * sigma)
+        # 7 symmetric thresholds at consecutive multiples of D.
+        assert thresholds.size == 7
+        assert np.allclose(thresholds, -thresholds[::-1])
+        assert np.allclose(np.diff(thresholds), decision)
+    # Higher SNR -> smaller sigma -> finer decision levels.
+    decisions = [row[2] for row in rows]
+    assert decisions == sorted(decisions, reverse=True)

@@ -1,0 +1,63 @@
+"""Figure 5: typical transfer function of an elliptic IIR filter.
+
+The paper's Fig. 5 plots the magnitude response of a low-pass elliptic
+filter (equiripple passband and stopband).  We regenerate the response
+series from our from-scratch elliptic design path and assert its
+defining features: equiripple passband hugging 0 dB, a sharp
+transition, and an equiripple stopband at the design attenuation.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.iir import LowpassSpec, design_filter, measure_bands
+
+SPEC = LowpassSpec(
+    passband_edge=0.3 * math.pi,
+    stopband_edge=0.36 * math.pi,
+    passband_ripple=0.02,
+    stopband_ripple=0.01,  # 40 dB
+)
+
+
+def _response():
+    filt = design_filter(SPEC, "elliptic")
+    tf = filt.to_tf()
+    omega = np.linspace(1e-3, math.pi - 1e-3, 512)
+    return filt, tf, omega, tf.magnitude_db(omega)
+
+
+@pytest.mark.benchmark(group="figure5")
+def test_figure5_elliptic_lowpass_response(benchmark, report):
+    filt, tf, omega, mag_db = benchmark.pedantic(_response, rounds=1, iterations=1)
+    measurement = measure_bands(tf, SPEC.passbands, SPEC.stopbands)
+    report("Figure 5 — elliptic low-pass transfer function (magnitude, dB)")
+    report(f"prototype order: {filt.order}, digital order: {tf.order}")
+    report(f"{'omega/pi':>9s} {'mag dB':>9s}")
+    for i in range(0, omega.size, 16):
+        report(f"{omega[i] / math.pi:9.3f} {mag_db[i]:9.2f}")
+    report()
+    report(
+        f"measured: ripple={measurement.passband_ripple:.4f} "
+        f"stopband={measurement.stopband_attenuation_db:.1f} dB "
+        f"3dB-band=[{(measurement.three_db_low or 0) / math.pi:.3f}, "
+        f"{(measurement.three_db_high or 0) / math.pi:.3f}] * pi"
+    )
+    # Equiripple passband within spec, hugging 0 dB.
+    assert measurement.passband_ripple <= SPEC.passband_ripple * 1.02
+    assert measurement.peak_gain <= 1.001
+    # Stopband at/below the design level.
+    assert measurement.stopband_attenuation_db >= 39.5
+    # Sharp transition: response falls from -3 dB to -40 dB within the
+    # narrow transition band.
+    assert measurement.three_db_high is not None
+    assert SPEC.passband_edge < measurement.three_db_high < SPEC.stopband_edge
+    # Equiripple stopband: the stopband maxima touch the design level
+    # repeatedly (at least two local maxima near -40 dB).
+    stop = mag_db[omega >= SPEC.stopband_edge]
+    near_level = np.sum(np.abs(stop - (-40.0)) < 1.5)
+    assert near_level >= 2

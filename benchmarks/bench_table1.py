@@ -1,0 +1,59 @@
+"""Table 1: area of three Viterbi instances at a fixed 1 Mbps.
+
+Paper values (0.35->0.25 um scaled model): K=3 instance 0.26 mm^2,
+K=5 multiresolution instance 0.56 mm^2, K=7 multiresolution instance
+1.73 mm^2 — a ~7x spread across instances with comparable BER.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.hardware import ViterbiInstanceParams, optimize_machine, viterbi_program
+
+#: The three instances of Table 1 (trellis depth is given in multiples
+#: of K there: 2*K and 5*K).
+TABLE1_INSTANCES = [
+    ("K=3  L=2K  R=3 soft", ViterbiInstanceParams(3, 6, 3), 0.26),
+    (
+        "K=5  L=5K  R1=1 R2=3 M=8",
+        ViterbiInstanceParams(5, 25, 1, 2, 3, 8, 1),
+        0.56,
+    ),
+    (
+        "K=7  L=5K  R1=1 R2=3 M=4",
+        ViterbiInstanceParams(7, 35, 1, 2, 3, 4, 1),
+        1.73,
+    ),
+]
+
+THROUGHPUT_BPS = 1.0e6
+
+
+def _areas():
+    rows = []
+    for label, params, paper_mm2 in TABLE1_INSTANCES:
+        estimate = optimize_machine(viterbi_program(params), THROUGHPUT_BPS)
+        rows.append((label, estimate, paper_mm2))
+    return rows
+
+
+@pytest.mark.benchmark(group="table1")
+def test_table1_viterbi_instance_areas(benchmark, report):
+    rows = benchmark.pedantic(_areas, rounds=1, iterations=1)
+    report("Table 1 — Viterbi instance areas at fixed 1 Mbps throughput")
+    report(f"{'instance':28s} {'area mm^2':>10s} {'paper':>7s} {'ALUs':>5s} {'cyc/bit':>8s}")
+    for label, estimate, paper_mm2 in rows:
+        report(
+            f"{label:28s} {estimate.area_mm2:10.2f} {paper_mm2:7.2f} "
+            f"{estimate.machine.n_alus:5d} {estimate.schedule.cycles:8.0f}"
+        )
+    areas = [estimate.area_mm2 for _, estimate, _ in rows]
+    papers = [paper for _, _, paper in rows]
+    # Shape: strictly increasing across the three instances, with a
+    # large spread between the smallest and largest, and each row
+    # within a factor ~2 of the paper's absolute number.
+    assert areas[0] < areas[1] < areas[2]
+    assert areas[2] / areas[0] > 3.0
+    for area, paper in zip(areas, papers):
+        assert paper / 2.0 < area < paper * 2.0

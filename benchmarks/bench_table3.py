@@ -1,0 +1,99 @@
+"""Table 3: Viterbi MetaCore search outcomes for five specifications.
+
+Each row fixes a desired BER and throughput; the multiresolution search
+returns the smallest-area decoder instance meeting both (normalization
+N and polynomials G fixed, as in the paper).  The last row (BER 1e-9)
+must come back "Not Feasible".
+
+The paper states its BER targets "at Es/N0 = 1.0" without units; at
+1.0 (linear or dB) the 1e-5 rows are unreachable by any faithful AWGN
+simulation of these codes, so this reproduction evaluates the BER
+constraint at Es/N0 = 2 dB, where the paper's qualitative pattern — a
+cheap short-constraint instance for 1e-2, escalating through soft /
+multiresolution decoding to long constraint lengths at 1e-5, and
+infeasibility at 1e-9 — reproduces.  See EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core import BERThresholdCurve, SearchConfig
+from repro.viterbi import ViterbiMetaCore, ViterbiSpec, describe_point
+
+ES_N0_DB = 2.0
+
+#: (max BER, throughput bps, paper row summary, paper area).
+TABLE3_SPECS = [
+    (1e-2, 5e6, "K=3 soft", 0.35),
+    (1e-4, 2e6, "K=5 multires", 1.2),
+    (1e-5, 1e6, "K=7 soft", 2.2),
+    (1e-5, 3e6, "K=7 soft/multires", 3.3),
+    (1e-9, 1e6, "Not Feasible", None),
+]
+
+
+def _run_searches():
+    rows = []
+    for max_ber, throughput, _, _ in TABLE3_SPECS:
+        spec = ViterbiSpec(
+            throughput_bps=throughput,
+            ber_curve=BERThresholdCurve.single(ES_N0_DB, max_ber),
+        )
+        metacore = ViterbiMetaCore(
+            spec,
+            fixed={"G": "standard", "N": 1},
+            config=SearchConfig(max_resolution=2, refine_top_k=3),
+        )
+        rows.append(metacore.search())
+    return rows
+
+
+@pytest.mark.benchmark(group="table3")
+def test_table3_search_outcomes(benchmark, report):
+    results = benchmark.pedantic(_run_searches, rounds=1, iterations=1)
+    report("Table 3 — Viterbi MetaCore search outcomes "
+           f"(BER constraint at Es/N0 = {ES_N0_DB} dB)")
+    report(
+        f"{'BER spec':>9s} {'Mbps':>5s} {'feasible':>9s} {'area':>7s} "
+        f"{'paper':>6s}  instance"
+    )
+    for (max_ber, throughput, paper_row, paper_area), result in zip(
+        TABLE3_SPECS, results
+    ):
+        if result.feasible:
+            area = result.best_metrics["area_mm2"]
+            instance = describe_point(result.best_point)
+            paper_str = f"{paper_area:5.2f}" if paper_area else "  n/a"
+            report(
+                f"{max_ber:9.0e} {throughput / 1e6:5.1f} {'yes':>9s} "
+                f"{area:7.2f} {paper_str:>6s}  {instance} "
+                f"[paper: {paper_row}]"
+            )
+        else:
+            report(
+                f"{max_ber:9.0e} {throughput / 1e6:5.1f} {'NO':>9s} "
+                f"{'-':>7s} {'-':>6s}  Not Feasible [paper: {paper_row}]"
+            )
+
+    # Shape assertions.
+    feasibility = [r.feasible for r in results]
+    assert feasibility == [True, True, True, True, False]
+    # Constraint-length / decoding-richness escalation with tighter
+    # BER requirements: 1e-2 is met by a short code, 1e-5 needs a long
+    # one (the paper's K=3 -> K=5 -> K=7 progression).
+    ks = [r.best_point["K"] for r in results[:4]]
+    assert ks[0] <= 4
+    assert ks[1] >= ks[0]
+    assert ks[2] >= 5 and ks[3] >= 5
+    # Harder specs at equal/looser throughput cost more area, and the
+    # tight-throughput 1e-5 row is the most expensive of all.
+    areas = [r.best_metrics["area_mm2"] for r in results[:4]]
+    assert areas[2] > areas[1]
+    assert areas[3] >= areas[2]
+    assert areas[3] == max(areas)
+    # Winners stay within a small factor of the paper's absolute areas.
+    for (_, _, _, paper_area), area in zip(TABLE3_SPECS[:4], areas):
+        assert paper_area / 3.0 < area < paper_area * 3.0

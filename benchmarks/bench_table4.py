@@ -1,0 +1,104 @@
+"""Table 4: IIR MetaCore performance across seven throughput targets.
+
+For every sample period the multiresolution search minimizes area over
+{structure x family x word length x ripple allocation} under the paper's
+Sec. 5.3 band-pass specification.  Reported per row: best area, average
+area over all feasible candidates generated during the search, the
+reduction percentage, and the winning structure — mirroring the paper's
+Table 4 columns.
+
+Paper rows: 5 us Ladder 5.73/15.75 (63.6%), 4-2 us Parallel 5.92/18-21
+(67-72%), 1-0.25 us Cascade 6.11-22.14 / 35.8-158.9 (82.9-86.1%).
+"""
+
+from __future__ import annotations
+
+import math
+import warnings
+
+import pytest
+
+from repro.core import SearchConfig
+from repro.iir import IIRMetaCore, IIRSpec
+
+PERIODS_US = [5.0, 4.0, 3.0, 2.0, 1.0, 0.5, 0.25]
+
+PAPER_ROWS = {
+    5.0: ("Ladder", 5.73, 15.75, 63.62),
+    4.0: ("Parallel", 5.92, 18.27, 67.60),
+    3.0: ("Parallel", 5.92, 19.94, 70.31),
+    2.0: ("Parallel", 5.92, 21.08, 71.92),
+    1.0: ("Cascade", 6.11, 35.81, 82.94),
+    0.5: ("Cascade", 11.63, 69.98, 83.39),
+    0.25: ("Cascade", 22.14, 158.90, 86.07),
+}
+
+
+def _run_searches():
+    rows = []
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore")
+        for period in PERIODS_US:
+            metacore = IIRMetaCore(
+                IIRSpec.paper(period),
+                config=SearchConfig(max_resolution=3, refine_top_k=4),
+            )
+            result = metacore.search()
+            feasible_areas = [
+                record.metrics["area_mm2"]
+                for record in result.log.records
+                if record.metrics.get("spec_violation", 1.0) == 0.0
+                and math.isfinite(record.metrics["area_mm2"])
+            ]
+            average = sum(feasible_areas) / len(feasible_areas)
+            rows.append((period, result, average))
+    return rows
+
+
+@pytest.mark.benchmark(group="table4")
+def test_table4_iir_search_across_throughputs(benchmark, report):
+    rows = benchmark.pedantic(_run_searches, rounds=1, iterations=1)
+    report("Table 4 — IIR MetaCore results (Sec. 5.3 band-pass spec)")
+    report(
+        f"{'T us':>6s} {'best':>7s} {'avg':>8s} {'red %':>6s} "
+        f"{'structure':>10s} {'paper best/avg/red/structure':>34s}"
+    )
+    reductions = []
+    for period, result, average in rows:
+        best = result.best_metrics["area_mm2"]
+        reduction = 100.0 * (1.0 - best / average)
+        reductions.append(reduction)
+        paper_struct, paper_best, paper_avg, paper_red = PAPER_ROWS[period]
+        report(
+            f"{period:6.2f} {best:7.2f} {average:8.2f} {reduction:6.1f} "
+            f"{result.best_point['structure']:>10s} "
+            f"{paper_best:8.2f}/{paper_avg:6.1f}/{paper_red:5.1f}/"
+            f"{paper_struct}"
+        )
+    best_areas = [r.best_metrics["area_mm2"] for _, r, _ in rows]
+    averages = [avg for _, _, avg in rows]
+    structures = [r.best_point["structure"] for _, r, _ in rows]
+
+    # Shape 1: every spec is feasible and the best area is monotone
+    # (non-decreasing) as the throughput constraint tightens, growing
+    # substantially at the fast end (paper: 5.73 -> 22.14).
+    assert all(result.feasible for _, result, _ in rows)
+    for previous, current in zip(best_areas, best_areas[1:]):
+        assert current >= previous * 0.98
+    assert best_areas[-1] / best_areas[0] > 2.0
+    # Shape 2: average candidate area grows much faster than the best,
+    # so the reduction percentage grows toward the fast end (paper:
+    # 63.6% -> 86.1%) and is large everywhere.
+    assert averages[-1] / averages[0] > 4.0
+    assert reductions[-1] > reductions[0]
+    assert all(reduction > 35.0 for reduction in reductions)
+    assert reductions[-1] > 80.0
+    # Shape 3: the winner rotation — a serial low-word-length structure
+    # (ladder) at the loosest constraint, short-loop structures
+    # (parallel/cascade) at the tightest; ladder cannot win the fastest
+    # rows (its feedback loop no longer fits the sample period).
+    assert structures[0] == "ladder"
+    assert structures[-1] in ("cascade", "parallel")
+    assert structures[-2] in ("cascade", "parallel")
+    serial = {"ladder", "continued"}
+    assert structures[-1] not in serial and structures[-2] not in serial

@@ -1,0 +1,52 @@
+"""Shared infrastructure for the reproduction benchmarks.
+
+Every benchmark regenerates one table or figure of the paper and
+
+1. prints the rows/series to stdout (run pytest with ``-s`` to watch),
+2. writes them under ``benchmarks/results/`` so the artifacts persist,
+3. asserts the *shape* of the paper's result (who wins, what grows).
+
+Budgets scale with the ``REPRO_BENCH_SCALE`` environment variable
+(default 1.0; larger values mean longer Monte-Carlo runs and tighter
+statistics).
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def bench_scale() -> float:
+    """Global budget multiplier from the environment."""
+    return float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
+
+
+def scaled_bits(base: int) -> int:
+    return int(base * bench_scale())
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture()
+def report(results_dir, request):
+    """Collect lines, print them, and persist them per benchmark."""
+
+    lines = []
+
+    def add(line: str = "") -> None:
+        lines.append(line)
+
+    yield add
+    text = "\n".join(lines) + "\n"
+    print("\n" + text)
+    name = request.node.name.replace("[", "_").replace("]", "")
+    (results_dir / f"{name}.txt").write_text(text)

@@ -1,0 +1,121 @@
+"""Building a user-defined MetaCore on the generic core API.
+
+The MetaCore methodology is not Viterbi-specific: any parameterized
+algorithm with a cost evaluator can use the multiresolution search.
+This example defines a toy "FIR decimator" MetaCore from scratch:
+
+- degrees of freedom: number of taps, coefficient word length,
+  polyphase decomposition on/off, oversampling ratio;
+- cost model: a simple analytic area/throughput/attenuation estimate
+  with fidelity-dependent noise (standing in for short vs long
+  simulations);
+- goal: minimize area subject to a stop-band attenuation floor and a
+  throughput floor.
+
+Run:  python examples/custom_metacore.py
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.core import (
+    Constraint,
+    Correlation,
+    DesignGoal,
+    DesignSpace,
+    DiscreteParameter,
+    FunctionEvaluator,
+    MetacoreSearch,
+    Objective,
+    RandomSearch,
+    SearchConfig,
+)
+from repro.utils.rng import spawn_rng
+
+
+def build_space() -> DesignSpace:
+    return DesignSpace(
+        [
+            DiscreteParameter(
+                "taps", tuple(range(8, 129, 8)), Correlation.MONOTONIC,
+                "FIR filter length",
+            ),
+            DiscreteParameter(
+                "word_length", tuple(range(6, 21)), Correlation.MONOTONIC,
+                "coefficient bits",
+            ),
+            DiscreteParameter(
+                "polyphase", (False, True), Correlation.NONE,
+                "polyphase decomposition",
+            ),
+            DiscreteParameter(
+                "ratio", (2, 4, 8), Correlation.MONOTONIC,
+                "decimation ratio",
+            ),
+        ]
+    )
+
+
+def evaluate(point, fidelity) -> dict:
+    """Analytic cost model with fidelity-dependent measurement noise."""
+    taps = int(point["taps"])
+    word = int(point["word_length"])
+    ratio = int(point["ratio"])
+    polyphase = bool(point["polyphase"])
+    # Attenuation: ~0.9 dB per tap at 16 bits, capped by quantization
+    # noise floor at ~6 dB per coefficient bit.
+    attenuation = min(0.9 * taps, 6.0 * (word - 1))
+    # Short "simulations" (low fidelity) measure attenuation noisily.
+    noise_db = {0: 4.0, 1: 1.0, 2: 0.0}[min(fidelity, 2)]
+    rng = spawn_rng(42, tuple(sorted(point.items())), fidelity)
+    measured = attenuation + rng.normal(0.0, noise_db)
+    # Area: multiplies per output sample x word-dependent multiplier.
+    macs = taps / (ratio if polyphase else 1)
+    area = 0.002 * macs * word + 0.1 * math.sqrt(taps)
+    # Throughput: polyphase runs at the low rate.
+    throughput = 200e6 / (taps / ratio if polyphase else taps)
+    return {
+        "area_mm2": area,
+        "attenuation_db": measured,
+        "throughput_sps": throughput,
+    }
+
+
+def main() -> None:
+    space = build_space()
+    print(space.describe())
+    goal = DesignGoal(
+        objectives=[Objective("area_mm2")],
+        constraints=[
+            Constraint("attenuation_db", lower=60.0),
+            Constraint("throughput_sps", lower=5e6),
+        ],
+    )
+    search = MetacoreSearch(
+        space,
+        goal,
+        FunctionEvaluator(evaluate, max_fidelity=2),
+        SearchConfig(max_resolution=3, refine_top_k=3),
+    )
+    result = search.run()
+    print("\n--- multiresolution search ---")
+    print(result.summary())
+
+    random_result = RandomSearch(
+        space, goal, FunctionEvaluator(evaluate, max_fidelity=2)
+    ).run(n_samples=result.log.n_evaluations, seed=3)
+    print("\n--- random search at the same budget ---")
+    print(random_result.summary())
+
+    if result.feasible and random_result.feasible:
+        ours = result.best_metrics["area_mm2"]
+        theirs = random_result.best_metrics["area_mm2"]
+        print(
+            f"\nmultiresolution {ours:.3f} mm^2 vs random {theirs:.3f} mm^2 "
+            f"({100 * (theirs - ours) / theirs:+.1f}% smaller)"
+        )
+
+
+if __name__ == "__main__":
+    main()

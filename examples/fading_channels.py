@@ -1,0 +1,70 @@
+"""Decoders on harsher channels: BSC and Rayleigh fading.
+
+The paper evaluates on AWGN (satellite/cable); a deployable core also
+gets characterized on fading links.  This example runs the same K=5
+decoders over AWGN, a matched binary symmetric channel, and fast/slow
+Rayleigh fading — showing the soft-decision advantage collapsing on the
+BSC (no soft information exists) and the cost of correlated fades
+(why real systems interleave).
+
+Run:  python examples/fading_channels.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.viterbi import (
+    AWGNChannel,
+    AdaptiveQuantizer,
+    BinarySymmetricChannel,
+    ConvolutionalEncoder,
+    HardQuantizer,
+    RayleighFadingChannel,
+    Trellis,
+    ViterbiDecoder,
+)
+
+ES_N0_DB = 4.0
+FRAMES, FRAME_BITS = 48, 256
+
+
+def main() -> None:
+    encoder = ConvolutionalEncoder(5)
+    trellis = Trellis.from_encoder(encoder)
+    hard = ViterbiDecoder(trellis, HardQuantizer(), 25)
+    soft = ViterbiDecoder(trellis, AdaptiveQuantizer(3), 25)
+
+    rng = np.random.default_rng(42)
+    bits = rng.integers(0, 2, size=(FRAMES, FRAME_BITS), dtype=np.int8)
+    symbols = encoder.encode(bits)
+
+    channels = {
+        "AWGN": AWGNChannel(ES_N0_DB),
+        "BSC (matched)": BinarySymmetricChannel.equivalent_to_awgn(ES_N0_DB),
+        "Rayleigh fast": RayleighFadingChannel(ES_N0_DB, coherence_symbols=1),
+        "Rayleigh slow": RayleighFadingChannel(ES_N0_DB, coherence_symbols=64),
+    }
+
+    print(f"BER of K=5 decoders at average Es/N0 = {ES_N0_DB} dB "
+          f"({FRAMES * FRAME_BITS} bits per cell)\n")
+    print(f"{'channel':>15s} {'hard':>11s} {'soft 3-bit':>11s}")
+    for label, channel in channels.items():
+        row = [label]
+        for decoder in (hard, soft):
+            received = channel.transmit(symbols, rng)
+            decoded = decoder.decode(received, sigma=channel.sigma)
+            ber = np.count_nonzero(decoded != bits) / bits.size
+            row.append(ber)
+        print(f"{row[0]:>15s} {row[1]:11.3e} {row[2]:11.3e}")
+
+    fading = channels["Rayleigh fast"]
+    print(
+        f"\nuncoded Rayleigh BER at this SNR would be "
+        f"{fading.average_uncoded_ber():.2e} — coding gain matters most "
+        "exactly where the channel is worst."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,104 @@
+"""IIR MetaCore structure exploration (paper Sec. 4.5 / 5.3).
+
+Designs the paper's band-pass filter in all four approximation
+families, realizes it in every structure, reports per-structure
+hardware characteristics (ops, minimum word length, synthesized area),
+and finally runs the MetaCore search at one throughput target.
+
+Run:  python examples/iir_exploration.py
+"""
+
+from __future__ import annotations
+
+import warnings
+
+from repro.core import SearchConfig
+from repro.errors import FilterDesignError, SynthesisError
+from repro.hardware.synthesis import estimate_iir_implementation
+from repro.iir import (
+    BandpassSpec,
+    IIRMetaCore,
+    IIRSpec,
+    available_structures,
+    design_filter,
+    minimum_word_length,
+    paper_bandpass_spec,
+    realize,
+)
+
+SAMPLE_PERIOD_US = 1.0
+
+
+def compare_families() -> None:
+    spec = paper_bandpass_spec()
+    print("=== Approximation families for the Sec. 5.3 band-pass spec ===")
+    print(f"{'family':>12s} {'proto order':>12s} {'digital order':>14s}")
+    for family in ("butterworth", "chebyshev1", "chebyshev2", "elliptic"):
+        designed = design_filter(spec, family)
+        print(f"{family:>12s} {designed.order:12d} {designed.to_tf().order:14d}")
+    print()
+
+
+def compare_structures() -> None:
+    spec = paper_bandpass_spec()
+    # Design with margin so quantization has budget to spend.
+    margin = BandpassSpec(
+        spec.passband_low, spec.passband_high,
+        spec.stopband_low, spec.stopband_high,
+        0.6 * spec.passband_ripple, 0.6 * spec.stopband_ripple,
+    )
+    tf = design_filter(margin, "elliptic").to_tf()
+    print("=== Structures for the elliptic design (60% ripple allocation) ===")
+    print(
+        f"{'structure':>11s} {'mult':>5s} {'add':>4s} {'regs':>5s} "
+        f"{'loop':>9s} {'min W':>6s} {'area @1us':>10s}"
+    )
+    for name in available_structures():
+        try:
+            realization = realize(name, tf)
+        except FilterDesignError as error:
+            print(f"{name:>11s}  not realizable ({error})")
+            continue
+        stats = realization.dataflow()
+        word = minimum_word_length(realization, spec, 28)
+        if word is None:
+            area = "spec fails"
+        else:
+            try:
+                estimate = estimate_iir_implementation(
+                    stats, word, SAMPLE_PERIOD_US
+                )
+                area = f"{estimate.area_mm2:7.2f} mm2"
+            except SynthesisError as error:
+                area = "infeasible"
+        loop = f"{stats.loop_multiplies}m+{stats.loop_additions}a"
+        print(
+            f"{name:>11s} {stats.multiplies:5d} {stats.additions:4d} "
+            f"{stats.delays:5d} {loop:>9s} {str(word):>6s} {area:>10s}"
+        )
+    print()
+
+
+def run_search() -> None:
+    print(f"=== MetaCore search at T = {SAMPLE_PERIOD_US} us ===")
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore")
+        metacore = IIRMetaCore(
+            IIRSpec.paper(SAMPLE_PERIOD_US),
+            config=SearchConfig(max_resolution=3, refine_top_k=4),
+        )
+        result = metacore.search()
+    print(result.summary())
+    point = result.best_point
+    print(
+        f"\nwinner: {point['structure']} / {point['family']} at "
+        f"W={point['word_length']} bits, ripple allocation "
+        f"{point['ripple_allocation']:.2f} -> "
+        f"{result.best_metrics['area_mm2']:.2f} mm^2"
+    )
+
+
+if __name__ == "__main__":
+    compare_families()
+    compare_structures()
+    run_search()

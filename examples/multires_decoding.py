@@ -1,0 +1,84 @@
+"""The multiresolution Viterbi decoding algorithm (paper Sec. 3.3).
+
+Reproduces the Figure-8 experiment interactively: hard, soft, and
+multiresolution decoding of the K=5 code across an SNR sweep, with the
+average BER improvement over hard decoding reported for M = 4 and
+M = 8 recomputed paths (paper: 64% and 82%).
+
+Run:  python examples/multires_decoding.py
+"""
+
+from __future__ import annotations
+
+from repro.viterbi import (
+    AdaptiveQuantizer,
+    BERSimulator,
+    ConvolutionalEncoder,
+    HardQuantizer,
+    MultiresolutionViterbiDecoder,
+    Trellis,
+    ViterbiDecoder,
+)
+
+SNR_GRID_DB = [0.0, 1.0, 2.0, 3.0]
+
+
+def main() -> None:
+    encoder = ConvolutionalEncoder(5)
+    trellis = Trellis.from_encoder(encoder)
+    simulator = BERSimulator(encoder, frame_length=256)
+
+    decoders = {
+        "hard (1-bit)": ViterbiDecoder(trellis, HardQuantizer(), 25),
+        "multires M=4": MultiresolutionViterbiDecoder(
+            trellis, HardQuantizer(), AdaptiveQuantizer(3), 25,
+            multires_paths=4,
+        ),
+        "multires M=8": MultiresolutionViterbiDecoder(
+            trellis, HardQuantizer(), AdaptiveQuantizer(3), 25,
+            multires_paths=8,
+        ),
+        "soft (3-bit)": ViterbiDecoder(trellis, AdaptiveQuantizer(3), 25),
+    }
+
+    print("BER vs Es/N0 for hard / multiresolution / soft decoding")
+    print(f"(K=5, L=25, R1=1, R2=3 adaptive — the paper's Fig. 8 setup)\n")
+    sweeps = {}
+    for label, decoder in decoders.items():
+        sweeps[label] = simulator.sweep(
+            decoder, SNR_GRID_DB, max_bits=60_000, target_errors=300,
+            label=label,
+        )
+
+    header = f"{'Es/N0':>7s}" + "".join(f"{label:>16s}" for label in decoders)
+    print(header)
+    for i, snr in enumerate(SNR_GRID_DB):
+        row = f"{snr:7.1f}" + "".join(
+            f"{sweeps[label].points[i].ber:16.3e}" for label in decoders
+        )
+        print(row)
+
+    hard = sweeps["hard (1-bit)"]
+    print("\naverage BER improvement over hard decision decoding:")
+    for label in ("multires M=4", "multires M=8", "soft (3-bit)"):
+        improvement = sweeps[label].improvement_over(hard)
+        print(f"  {label:14s} {improvement:5.1f} %")
+    print("\n(paper: M=4 -> 64 %, M=8 -> 82 %)")
+
+    # What the recomputation costs: only M of the 16 states are touched
+    # by the wide datapath each step.
+    from repro.hardware import ViterbiInstanceParams, optimize_machine, viterbi_program
+
+    print("\narea at 1 Mbps (0.25 um model):")
+    for label, params in [
+        ("hard", ViterbiInstanceParams(5, 25, 1)),
+        ("multires M=4", ViterbiInstanceParams(5, 25, 1, 2, 3, 4, 1)),
+        ("multires M=8", ViterbiInstanceParams(5, 25, 1, 2, 3, 8, 1)),
+        ("soft 3-bit", ViterbiInstanceParams(5, 25, 3)),
+    ]:
+        estimate = optimize_machine(viterbi_program(params), 1e6)
+        print(f"  {label:14s} {estimate.area_mm2:5.2f} mm^2")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,64 @@
+"""Sensitivity analysis around an optimized design point.
+
+After the MetaCore search returns a winner, a designer wants to know
+which parameters still have leverage — exactly the correlated /
+non-correlated / monotonic classification of paper Sec. 4.4, measured
+rather than assumed.  This example optimizes a Viterbi instance, then
+perturbs each design parameter around the winner and tabulates the
+area and BER responses.
+
+Run:  python examples/sensitivity_analysis.py
+"""
+
+from __future__ import annotations
+
+from repro.core import BERThresholdCurve, SearchConfig
+from repro.core.sensitivity import analyze_sensitivity, format_sensitivity_table
+from repro.viterbi import (
+    ViterbiMetaCore,
+    ViterbiMetacoreEvaluator,
+    ViterbiSpec,
+    describe_point,
+)
+from repro.viterbi.metacore import normalize_viterbi_point
+
+
+def main() -> None:
+    spec = ViterbiSpec(
+        throughput_bps=2e6,
+        ber_curve=BERThresholdCurve.single(2.0, 1e-3),
+    )
+    metacore = ViterbiMetaCore(
+        spec,
+        fixed={"G": "standard", "N": 1},
+        config=SearchConfig(max_resolution=2, refine_top_k=2),
+    )
+    print("searching (BER <= 1e-3 @ 2 dB, 2 Mbps)...")
+    result = metacore.search()
+    point = result.best_point
+    print(f"winner: {describe_point(point)} -> "
+          f"{result.best_metrics['area_mm2']:.2f} mm^2\n")
+
+    space = metacore.design_space()
+    evaluator = ViterbiMetacoreEvaluator(spec)
+    for metric in ("area_mm2", "ber"):
+        table = analyze_sensitivity(
+            space,
+            point,
+            evaluator,
+            metric,
+            fidelity=0 if metric == "ber" else 0,
+            normalizer=normalize_viterbi_point,
+        )
+        print(format_sensitivity_table(table))
+        print()
+    print(
+        "Reading the tables: a positive area gradient along K confirms "
+        "the paper's\nmonotonic classification (more states always cost "
+        "area); the BER gradient\nshows how much error-rate margin the "
+        "next parameter step would buy."
+    )
+
+
+if __name__ == "__main__":
+    main()

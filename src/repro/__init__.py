@@ -1,0 +1,39 @@
+"""repro — a reproduction of *MetaCores: Design and Optimization
+Techniques* (Meguerdichian, Koushanfar, Mogre, Petranovic, Potkonjak;
+DAC 2001).
+
+The package is organized as the paper is:
+
+- :mod:`repro.core` — the MetaCore methodology itself: design-space
+  parameterization, objectives/constraints, cost-evaluation engine, and
+  the multiresolution design-space search.
+- :mod:`repro.viterbi` — the primary driver: a complete Viterbi
+  decoding substrate including the paper's new multiresolution Viterbi
+  decoding algorithm and a Monte-Carlo BER simulator.
+- :mod:`repro.iir` — the validation example: IIR filter design from
+  scratch, seven realization structures, and fixed-point effects.
+- :mod:`repro.hardware` — the cost-evaluation substrate standing in for
+  Trimaran/TR4101 (Viterbi area/throughput) and HYPER (IIR behavioral
+  synthesis estimation).
+"""
+
+__version__ = "1.0.0"
+
+from repro.errors import (
+    ConfigurationError,
+    DesignSpaceError,
+    FilterDesignError,
+    InfeasibleSpecError,
+    ReproError,
+    SynthesisError,
+)
+
+__all__ = [
+    "__version__",
+    "ReproError",
+    "ConfigurationError",
+    "DesignSpaceError",
+    "InfeasibleSpecError",
+    "SynthesisError",
+    "FilterDesignError",
+]

@@ -1,0 +1,379 @@
+"""Command-line interface — the stand-in for the paper's GUI (Fig. 7).
+
+The original experimentation platform was a Windows application in
+which "the user can specify most of the algorithmic and hardware
+related parameters"; this CLI exposes the same controls::
+
+    metacores viterbi-search --ber 1e-4 --es-n0-db 3 --throughput 2e6
+    metacores viterbi-ber    --k 5 --l-mult 5 --m 4 --r2 3 --snr 0 1 2 3 4
+    metacores iir-search     --period-us 1.0
+    metacores iir-design     --family elliptic --structure cascade --word 12
+    metacores spectrum       --k 7
+
+Run ``metacores <command> --help`` for the full parameter list of each
+command.
+"""
+
+from __future__ import annotations
+
+import argparse
+import math
+import sys
+from typing import List, Optional
+
+from repro.core import BERThresholdCurve, SearchConfig
+from repro.iir import (
+    IIRMetaCore,
+    IIRSpec,
+    available_structures,
+    check_quantized,
+    design_filter,
+    paper_bandpass_spec,
+    realize,
+)
+from repro.iir.design import FILTER_FAMILIES
+from repro.viterbi import (
+    BERSimulator,
+    ConvolutionalEncoder,
+    ViterbiMetaCore,
+    ViterbiSpec,
+    build_decoder,
+    describe_point,
+    distance_spectrum,
+    normalize_viterbi_point,
+)
+
+
+def _add_viterbi_point_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--k", type=int, default=5, help="constraint length K")
+    parser.add_argument(
+        "--l-mult", type=int, default=5, help="trace-back depth in multiples of K"
+    )
+    parser.add_argument("--r1", type=int, default=1, help="low-resolution bits R1")
+    parser.add_argument("--r2", type=int, default=3, help="high-resolution bits R2")
+    parser.add_argument(
+        "--q",
+        choices=("hard", "fixed", "adaptive"),
+        default="adaptive",
+        help="quantization method Q",
+    )
+    parser.add_argument("--n", type=int, default=1, help="normalization branches N")
+    parser.add_argument(
+        "--m", type=int, default=0, help="multiresolution paths M (0 = pure)"
+    )
+
+
+def _point_from_args(args: argparse.Namespace) -> dict:
+    return normalize_viterbi_point(
+        {
+            "K": args.k,
+            "L_mult": args.l_mult,
+            "G": "standard",
+            "R1": args.r1,
+            "R2": args.r2,
+            "Q": args.q,
+            "N": args.n,
+            "M": args.m,
+        }
+    )
+
+
+def cmd_viterbi_ber(args: argparse.Namespace) -> int:
+    """Measure the BER curve of one decoder instance."""
+    point = _point_from_args(args)
+    decoder = build_decoder(point)
+    encoder = ConvolutionalEncoder(int(point["K"]))
+    simulator = BERSimulator(encoder, seed=args.seed)
+    print(f"instance: {describe_point(point)}")
+    for es_n0_db in args.snr:
+        measurement = simulator.measure(
+            decoder, es_n0_db, max_bits=args.bits, target_errors=args.errors
+        )
+        print(f"  {measurement}")
+    return 0
+
+
+def cmd_viterbi_search(args: argparse.Namespace) -> int:
+    """Run the multiresolution search for a (BER, throughput) spec."""
+    spec = ViterbiSpec(
+        throughput_bps=args.throughput,
+        ber_curve=BERThresholdCurve.single(args.es_n0_db, args.ber),
+        feature_um=args.feature_um,
+    )
+    config = SearchConfig(
+        max_resolution=args.max_resolution, refine_top_k=args.top_k
+    )
+    metacore = ViterbiMetaCore(
+        spec, fixed={"G": "standard", "N": 1}, config=config
+    )
+    result = metacore.search()
+    print(result.summary())
+    if result.best_point is not None:
+        print(f"winner: {describe_point(result.best_point)}")
+        metrics = result.best_metrics
+        print(
+            f"area = {metrics['area_mm2']:.2f} mm^2, "
+            f"measured BER = {metrics.get('ber', math.nan):.3e} "
+            f"(threshold {args.ber:g} at {args.es_n0_db:g} dB)"
+        )
+    if not result.feasible:
+        print("specification NOT FEASIBLE within the design space")
+        return 1
+    return 0
+
+
+def cmd_spectrum(args: argparse.Namespace) -> int:
+    """Print the distance spectrum of the standard code for K."""
+    encoder = ConvolutionalEncoder(args.k)
+    spectrum = distance_spectrum(encoder)
+    print(f"{encoder}")
+    print(f"free distance: {spectrum.free_distance}")
+    for distance, weight in spectrum.weights:
+        print(f"  d={distance}: input-weight {weight:g}")
+    return 0
+
+
+def cmd_diagram(args: argparse.Namespace) -> int:
+    """Draw the encoder (and optionally one trellis section)."""
+    from repro.viterbi import encoder_diagram, trellis_section_diagram
+
+    encoder = ConvolutionalEncoder(args.k)
+    print(encoder_diagram(encoder))
+    if args.trellis:
+        print()
+        print(trellis_section_diagram(encoder))
+    return 0
+
+
+def cmd_iir_noise(args: argparse.Namespace) -> int:
+    """Compare round-off noise across realization structures."""
+    from repro.iir import compare_structure_noise
+
+    spec = paper_bandpass_spec()
+    tf = design_filter(spec, args.family).to_tf()
+    names = [
+        name for name in available_structures() if name != "continued"
+    ]
+    print(
+        f"round-off noise of the {args.family} band-pass design "
+        f"(data word {args.word} bits):"
+    )
+    print(f"{'structure':>11s} {'noise gain':>11s} {'output noise':>13s}")
+    for report_item in compare_structure_noise(tf, names):
+        print(
+            f"{report_item.structure:>11s} "
+            f"{report_item.noise_gain:11.1f} "
+            f"{report_item.output_noise_db(args.word):10.1f} dB"
+        )
+    return 0
+
+
+def cmd_iir_search(args: argparse.Namespace) -> int:
+    """Run the IIR MetaCore search at one sample period."""
+    spec = IIRSpec.paper(args.period_us)
+    config = SearchConfig(
+        max_resolution=args.max_resolution, refine_top_k=args.top_k
+    )
+    metacore = IIRMetaCore(spec, config=config)
+    result = metacore.search()
+    print(result.summary())
+    if not result.feasible:
+        print("specification NOT FEASIBLE within the design space")
+        return 1
+    return 0
+
+
+def cmd_iir_design(args: argparse.Namespace) -> int:
+    """Design, realize, and quantize one IIR candidate; exit 1 on spec miss."""
+    from repro.iir.metacore import _margin_spec
+
+    spec = paper_bandpass_spec()
+    designed = design_filter(_margin_spec(spec, args.allocation), args.family)
+    tf = designed.to_tf()
+    realization = realize(args.structure, tf)
+    report = check_quantized(realization, spec, args.word)
+    stats = realization.dataflow()
+    print(f"{args.family} prototype order {designed.order} "
+          f"(digital order {tf.order}) as {args.structure}")
+    print(f"  ops/sample: {stats.multiplies} mult, {stats.additions} add, "
+          f"{stats.delays} delays")
+    print(f"  at {args.word} bits: stable={report.stable} "
+          f"ripple={report.passband_ripple:.5f} "
+          f"stopband={report.stopband_level:.5f} "
+          f"meets spec={report.meets(spec)}")
+    return 0 if report.meets(spec) else 1
+
+
+def cmd_table3(args: argparse.Namespace) -> int:
+    """Reproduce the paper's Table 3 with a specification sweep."""
+    from repro.core.batch import SpecificationSweep
+
+    specs = [(1e-2, 5e6), (1e-4, 2e6), (1e-5, 1e6), (1e-5, 3e6), (1e-9, 1e6)]
+
+    def run(spec_pair):
+        max_ber, throughput = spec_pair
+        spec = ViterbiSpec(
+            throughput_bps=throughput,
+            ber_curve=BERThresholdCurve.single(args.es_n0_db, max_ber),
+        )
+        metacore = ViterbiMetaCore(
+            spec, fixed={"G": "standard", "N": 1},
+            config=SearchConfig(
+                max_resolution=args.max_resolution, refine_top_k=args.top_k
+            ),
+        )
+        return metacore.search()
+
+    sweep = SpecificationSweep(runner=run, feasibility_metric="ber_violation")
+    sweep.run(
+        specs,
+        labels=[f"{b:g}@{t / 1e6:g}Mbps" for b, t in specs],
+    )
+    print(
+        sweep.format_table(
+            extra_columns={
+                "instance": lambda row: (
+                    describe_point(row.result.best_point)
+                    if row.feasible
+                    else "-"
+                )
+            }
+        )
+    )
+    return 0
+
+
+def cmd_table4(args: argparse.Namespace) -> int:
+    """Reproduce the paper's Table 4 with a specification sweep."""
+    from repro.core.batch import SpecificationSweep
+
+    periods = [5.0, 4.0, 3.0, 2.0, 1.0, 0.5, 0.25]
+
+    def run(period):
+        metacore = IIRMetaCore(
+            IIRSpec.paper(period),
+            config=SearchConfig(
+                max_resolution=args.max_resolution, refine_top_k=args.top_k
+            ),
+        )
+        return metacore.search()
+
+    sweep = SpecificationSweep(runner=run)
+    sweep.run(periods, labels=[f"{p:g} us" for p in periods])
+    print(
+        sweep.format_table(
+            extra_columns={
+                "structure": lambda row: (
+                    str(row.result.best_point["structure"])
+                    if row.feasible
+                    else "-"
+                )
+            }
+        )
+    )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser for all subcommands."""
+    parser = argparse.ArgumentParser(
+        prog="metacores",
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    ber = sub.add_parser("viterbi-ber", help="measure a decoder's BER curve")
+    _add_viterbi_point_args(ber)
+    ber.add_argument(
+        "--snr", type=float, nargs="+", default=[0.0, 1.0, 2.0, 3.0, 4.0],
+        help="Es/N0 points (dB)",
+    )
+    ber.add_argument("--bits", type=int, default=100_000)
+    ber.add_argument("--errors", type=int, default=100)
+    ber.add_argument("--seed", type=int, default=20010618)
+    ber.set_defaults(func=cmd_viterbi_ber)
+
+    search = sub.add_parser(
+        "viterbi-search", help="run the multiresolution Viterbi search"
+    )
+    search.add_argument("--ber", type=float, required=True, help="max BER")
+    search.add_argument(
+        "--es-n0-db", type=float, default=2.0, help="Es/N0 of the BER spec (dB)"
+    )
+    search.add_argument(
+        "--throughput", type=float, required=True, help="bits per second"
+    )
+    search.add_argument("--feature-um", type=float, default=0.25)
+    search.add_argument("--max-resolution", type=int, default=2)
+    search.add_argument("--top-k", type=int, default=3)
+    search.set_defaults(func=cmd_viterbi_search)
+
+    spectrum = sub.add_parser(
+        "spectrum", help="distance spectrum of a convolutional code"
+    )
+    spectrum.add_argument("--k", type=int, default=7)
+    spectrum.set_defaults(func=cmd_spectrum)
+
+    diagram = sub.add_parser(
+        "diagram", help="draw an encoder (and optionally its trellis)"
+    )
+    diagram.add_argument("--k", type=int, default=3)
+    diagram.add_argument("--trellis", action="store_true")
+    diagram.set_defaults(func=cmd_diagram)
+
+    noise = sub.add_parser(
+        "iir-noise", help="round-off noise comparison across structures"
+    )
+    noise.add_argument("--family", choices=FILTER_FAMILIES, default="elliptic")
+    noise.add_argument("--word", type=int, default=12)
+    noise.set_defaults(func=cmd_iir_noise)
+
+    iir = sub.add_parser("iir-search", help="run the IIR MetaCore search")
+    iir.add_argument(
+        "--period-us", type=float, required=True, help="sample period (us)"
+    )
+    iir.add_argument("--max-resolution", type=int, default=3)
+    iir.add_argument("--top-k", type=int, default=4)
+    iir.set_defaults(func=cmd_iir_search)
+
+    design = sub.add_parser(
+        "iir-design", help="design + realize + quantize one IIR candidate"
+    )
+    design.add_argument("--family", choices=FILTER_FAMILIES, default="elliptic")
+    design.add_argument(
+        "--structure", choices=available_structures(), default="cascade"
+    )
+    design.add_argument("--word", type=int, default=12)
+    design.add_argument(
+        "--allocation", type=float, default=0.85,
+        help="fraction of the ripple budget the nominal design spends",
+    )
+    design.set_defaults(func=cmd_iir_design)
+
+    table3 = sub.add_parser(
+        "table3", help="reproduce the paper's Table 3 (Viterbi sweep)"
+    )
+    table3.add_argument("--es-n0-db", type=float, default=2.0)
+    table3.add_argument("--max-resolution", type=int, default=2)
+    table3.add_argument("--top-k", type=int, default=3)
+    table3.set_defaults(func=cmd_table3)
+
+    table4 = sub.add_parser(
+        "table4", help="reproduce the paper's Table 4 (IIR sweep)"
+    )
+    table4.add_argument("--max-resolution", type=int, default=3)
+    table4.add_argument("--top-k", type=int, default=4)
+    table4.set_defaults(func=cmd_table4)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,106 @@
+"""The MetaCore methodology — the paper's primary contribution.
+
+Four components (Sec. 1): problem formulation / optimization degrees of
+freedom (:mod:`~repro.core.parameters`), objective functions and
+constraints (:mod:`~repro.core.objectives`), the cost-evaluation engine
+(:mod:`~repro.core.evaluation`), and the multiresolution design-space
+search (:mod:`~repro.core.search`) with its supporting grid machinery,
+interpolation, and Bayesian BER prediction.
+"""
+
+from repro.core.parameters import (
+    ContinuousParameter,
+    Correlation,
+    DesignSpace,
+    DiscreteParameter,
+    Point,
+    frozen_point,
+)
+from repro.core.objectives import (
+    BERThresholdCurve,
+    Constraint,
+    DesignGoal,
+    Direction,
+    Objective,
+)
+from repro.core.evaluation import (
+    CachingEvaluator,
+    EvaluationLog,
+    EvaluationRecord,
+    Evaluator,
+    FunctionEvaluator,
+)
+from repro.core.grid import GridSample, Region
+from repro.core.interpolate import (
+    MetricInterpolator,
+    idw_interpolate,
+    point_coordinates,
+)
+from repro.core.bayes import (
+    BayesianBERPredictor,
+    Gaussian,
+    observation_from_counts,
+)
+from repro.core.search import MetacoreSearch, SearchConfig, SearchResult
+from repro.core.baselines import (
+    ExhaustiveSearch,
+    RandomSearch,
+    SimulatedAnnealing,
+)
+from repro.core.pareto import dominates, pareto_front
+from repro.core.sensitivity import (
+    ParameterSensitivity,
+    analyze_sensitivity,
+    format_sensitivity_table,
+)
+from repro.core.batch import SpecificationSweep, SweepRow
+from repro.core.report import (
+    format_pareto_report,
+    format_point,
+    format_search_report,
+    ranked_candidates,
+)
+
+__all__ = [
+    "ContinuousParameter",
+    "Correlation",
+    "DesignSpace",
+    "DiscreteParameter",
+    "Point",
+    "frozen_point",
+    "BERThresholdCurve",
+    "Constraint",
+    "DesignGoal",
+    "Direction",
+    "Objective",
+    "CachingEvaluator",
+    "EvaluationLog",
+    "EvaluationRecord",
+    "Evaluator",
+    "FunctionEvaluator",
+    "GridSample",
+    "Region",
+    "MetricInterpolator",
+    "idw_interpolate",
+    "point_coordinates",
+    "BayesianBERPredictor",
+    "Gaussian",
+    "observation_from_counts",
+    "MetacoreSearch",
+    "SearchConfig",
+    "SearchResult",
+    "ExhaustiveSearch",
+    "RandomSearch",
+    "SimulatedAnnealing",
+    "dominates",
+    "pareto_front",
+    "ParameterSensitivity",
+    "analyze_sensitivity",
+    "format_sensitivity_table",
+    "SpecificationSweep",
+    "SweepRow",
+    "format_pareto_report",
+    "format_point",
+    "format_search_report",
+    "ranked_candidates",
+]

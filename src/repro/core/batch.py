@@ -1,0 +1,127 @@
+"""Batch runs over specification sweeps.
+
+The paper's result tables are sweeps: Table 3 runs the Viterbi search
+over five (BER, throughput) specifications, Table 4 the IIR search over
+seven sample periods.  This module packages that pattern — run a search
+per specification, collect winners, averages over feasible candidates,
+and reductions — as reusable library code with a text renderer.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.core.search import SearchResult
+
+
+@dataclass(frozen=True)
+class SweepRow:
+    """Outcome of one specification in a sweep."""
+
+    label: str
+    result: SearchResult
+    #: Mean objective over all *feasible* candidates the search priced
+    #: (the paper's "average case solution").
+    average_objective: Optional[float]
+
+    @property
+    def feasible(self) -> bool:
+        return self.result.feasible
+
+    def best_objective(self, metric: str) -> Optional[float]:
+        if self.result.best_metrics is None:
+            return None
+        value = self.result.best_metrics.get(metric)
+        return None if value is None or math.isinf(value) else value
+
+    def reduction_percent(self, metric: str) -> Optional[float]:
+        """Best-vs-average improvement (Table 4's "Reduction %")."""
+        best = self.best_objective(metric)
+        if best is None or not self.average_objective:
+            return None
+        return 100.0 * (1.0 - best / self.average_objective)
+
+
+@dataclass
+class SpecificationSweep:
+    """Run one search per specification and aggregate the outcomes.
+
+    Parameters
+    ----------
+    runner:
+        Maps a specification to a finished :class:`SearchResult` (e.g.
+        ``lambda period: IIRMetaCore(IIRSpec.paper(period)).search()``).
+    objective_metric:
+        The metric averaged and reported (usually ``area_mm2``).
+    feasibility_metric:
+        The constraint metric identifying feasible log records
+        (``spec_violation`` / ``ber_violation``); records with value 0
+        and a finite objective count toward the average.
+    """
+
+    runner: Callable[[object], SearchResult]
+    objective_metric: str = "area_mm2"
+    feasibility_metric: str = "spec_violation"
+    rows: List[SweepRow] = field(default_factory=list)
+
+    def run(
+        self,
+        specifications: Sequence[object],
+        labels: Optional[Sequence[str]] = None,
+    ) -> List[SweepRow]:
+        """Execute the sweep; rows accumulate on the instance too."""
+        labels = list(labels) if labels else [str(s) for s in specifications]
+        if len(labels) != len(specifications):
+            raise ValueError("labels and specifications lengths differ")
+        for label, specification in zip(labels, specifications):
+            result = self.runner(specification)
+            self.rows.append(
+                SweepRow(
+                    label=label,
+                    result=result,
+                    average_objective=self._average(result),
+                )
+            )
+        return self.rows
+
+    def _average(self, result: SearchResult) -> Optional[float]:
+        values = [
+            record.metrics[self.objective_metric]
+            for record in result.log.records
+            if record.metrics.get(self.feasibility_metric, math.inf) == 0.0
+            and math.isfinite(record.metrics.get(self.objective_metric, math.inf))
+        ]
+        if not values:
+            return None
+        return sum(values) / len(values)
+
+    # ------------------------------------------------------------------
+
+    def format_table(
+        self, extra_columns: Optional[Dict[str, Callable[[SweepRow], str]]] = None
+    ) -> str:
+        """Render the sweep as a Table-3/4 style text table."""
+        extra_columns = extra_columns or {}
+        header = (
+            f"{'spec':>16s} {'feasible':>9s} {'best':>9s} {'avg':>9s} "
+            f"{'red %':>6s}"
+        )
+        for name in extra_columns:
+            header += f" {name:>14s}"
+        lines = [header]
+        for row in self.rows:
+            best = row.best_objective(self.objective_metric)
+            reduction = row.reduction_percent(self.objective_metric)
+            line = (
+                f"{row.label:>16s} "
+                f"{('yes' if row.feasible else 'NO'):>9s} "
+                f"{(f'{best:.2f}' if best is not None else '-'):>9s} "
+                f"{(f'{row.average_objective:.2f}' if row.average_objective else '-'):>9s} "
+                f"{(f'{reduction:.1f}' if reduction is not None else '-'):>6s}"
+            )
+            for renderer in extra_columns.values():
+                line += f" {renderer(row):>14s}"
+            lines.append(line)
+        return "\n".join(lines)

@@ -1,0 +1,132 @@
+"""Cost-evaluation engine plumbing (paper component *iii*).
+
+Evaluators map a design point to a metrics record at a chosen
+*fidelity*: the multiresolution search evaluates coarse grids with
+cheap, low-accuracy estimates ("simulation times kept short", Sec. 4.4)
+and re-evaluates surviving candidates at higher fidelity on finer
+grids.  This module defines the evaluator protocol, a cache that never
+pays twice for the same (point, fidelity) pair, and an evaluation log
+the search and the experiment reports both read.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Mapping, Optional, Protocol, Tuple
+
+from repro.core.parameters import Point, frozen_point
+
+Metrics = Dict[str, float]
+
+
+class Evaluator(Protocol):
+    """Anything that can price a design point at a given fidelity."""
+
+    #: Highest meaningful fidelity level (0 = cheapest estimate).
+    max_fidelity: int
+
+    def evaluate(self, point: Point, fidelity: int) -> Metrics:
+        """Return the metrics of ``point`` at the given fidelity."""
+        ...
+
+
+@dataclass(frozen=True)
+class EvaluationRecord:
+    """One priced design point."""
+
+    point: Tuple[Tuple[str, object], ...]
+    fidelity: int
+    metrics: Mapping[str, float]
+    elapsed_s: float = 0.0
+
+    def as_point(self) -> Point:
+        return dict(self.point)
+
+    def __str__(self) -> str:
+        point = ", ".join(f"{k}={v}" for k, v in self.point)
+        metrics = ", ".join(f"{k}={v:.4g}" for k, v in sorted(self.metrics.items()))
+        return f"[fid {self.fidelity}] {{{point}}} -> {{{metrics}}}"
+
+
+@dataclass
+class EvaluationLog:
+    """Every evaluation a search performed, in order."""
+
+    records: List[EvaluationRecord] = field(default_factory=list)
+
+    def append(self, record: EvaluationRecord) -> None:
+        self.records.append(record)
+
+    @property
+    def n_evaluations(self) -> int:
+        return len(self.records)
+
+    @property
+    def total_time_s(self) -> float:
+        return sum(r.elapsed_s for r in self.records)
+
+    def by_fidelity(self) -> Dict[int, int]:
+        counts: Dict[int, int] = {}
+        for record in self.records:
+            counts[record.fidelity] = counts.get(record.fidelity, 0) + 1
+        return counts
+
+    def unique_points(self) -> int:
+        return len({record.point for record in self.records})
+
+
+class CachingEvaluator:
+    """Memoizing wrapper around an evaluator.
+
+    A point evaluated at fidelity ``f`` is never recomputed at any
+    fidelity ``<= f`` — a lower-fidelity request is answered from the
+    higher-fidelity result, which is at least as accurate.
+    """
+
+    def __init__(self, inner: Evaluator, log: Optional[EvaluationLog] = None) -> None:
+        self.inner = inner
+        self.log = log if log is not None else EvaluationLog()
+        self._cache: Dict[Tuple, Tuple[int, Metrics]] = {}
+
+    @property
+    def max_fidelity(self) -> int:
+        return self.inner.max_fidelity
+
+    def evaluate(self, point: Point, fidelity: int) -> Metrics:
+        key = frozen_point(point)
+        cached = self._cache.get(key)
+        if cached is not None and cached[0] >= fidelity:
+            return cached[1]
+        start = time.perf_counter()
+        metrics = self.inner.evaluate(point, fidelity)
+        elapsed = time.perf_counter() - start
+        self._cache[key] = (fidelity, metrics)
+        self.log.append(
+            EvaluationRecord(
+                point=key,
+                fidelity=fidelity,
+                metrics=dict(metrics),
+                elapsed_s=elapsed,
+            )
+        )
+        return metrics
+
+
+class FunctionEvaluator:
+    """Adapter turning a plain callable into an :class:`Evaluator`.
+
+    Handy for tests and for user-defined MetaCores whose cost model is
+    a single function of the design point.
+    """
+
+    def __init__(
+        self,
+        func: Callable[[Point, int], Metrics],
+        max_fidelity: int = 0,
+    ) -> None:
+        self._func = func
+        self.max_fidelity = max_fidelity
+
+    def evaluate(self, point: Point, fidelity: int) -> Metrics:
+        return self._func(point, fidelity)

@@ -1,0 +1,181 @@
+"""Objective functions and constraints (paper Sec. 4.2).
+
+A MetaCore search is steered by a :class:`DesignGoal`: one or more
+objectives (metrics to minimize or maximize, area being the usual
+primary) under constraints (bounds on other metrics, or a BER threshold
+curve over signal-to-noise ratios as the paper's users specify).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import List, Mapping, Optional, Tuple
+
+from repro.errors import ConfigurationError
+
+Metrics = Mapping[str, float]
+
+
+class Direction(Enum):
+    MINIMIZE = "minimize"
+    MAXIMIZE = "maximize"
+
+
+@dataclass(frozen=True)
+class Objective:
+    """A metric to optimize, e.g. minimize ``area_mm2``."""
+
+    metric: str
+    direction: Direction = Direction.MINIMIZE
+
+    def score(self, metrics: Metrics) -> float:
+        """Lower-is-better score of a metrics record."""
+        value = metrics.get(self.metric)
+        if value is None or math.isnan(value):
+            return math.inf
+        return value if self.direction is Direction.MINIMIZE else -value
+
+
+@dataclass(frozen=True)
+class Constraint:
+    """An inequality constraint on one metric.
+
+    Exactly one of ``upper`` / ``lower`` must be given.  ``violation``
+    returns 0 when satisfied and a positive *relative* magnitude when
+    not, so violations of metrics with different units are comparable
+    when the search ranks infeasible points.
+    """
+
+    metric: str
+    upper: Optional[float] = None
+    lower: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if (self.upper is None) == (self.lower is None):
+            raise ConfigurationError(
+                f"constraint on {self.metric}: give exactly one bound"
+            )
+
+    def violation(self, metrics: Metrics) -> float:
+        value = metrics.get(self.metric)
+        if value is None or math.isnan(value):
+            return math.inf
+        if self.upper is not None:
+            if value <= self.upper:
+                return 0.0
+            scale = abs(self.upper) if self.upper else 1.0
+            return (value - self.upper) / scale
+        if value >= self.lower:
+            return 0.0
+        scale = abs(self.lower) if self.lower else 1.0
+        return (self.lower - value) / scale
+
+    def satisfied(self, metrics: Metrics) -> bool:
+        return self.violation(metrics) == 0.0
+
+
+@dataclass(frozen=True)
+class BERThresholdCurve:
+    """A user-supplied BER-vs-SNR threshold (paper Sec. 4.2).
+
+    ``points`` maps Es/N0 (dB) to the largest acceptable BER at that
+    ratio.  A design satisfies the curve when its measured BER is at or
+    below the threshold at every specified ratio; violations are
+    measured in decades (log10 ratio), the natural scale for BER.
+    """
+
+    points: Tuple[Tuple[float, float], ...]
+
+    def __post_init__(self) -> None:
+        if not self.points:
+            raise ConfigurationError("threshold curve needs at least one point")
+        for _, ber in self.points:
+            if not 0.0 < ber <= 0.5:
+                raise ConfigurationError("threshold BER must lie in (0, 0.5]")
+
+    @classmethod
+    def single(cls, es_n0_db: float, max_ber: float) -> "BERThresholdCurve":
+        """The Table-3 style spec: one BER bound at one Es/N0."""
+        return cls(points=((es_n0_db, max_ber),))
+
+    @property
+    def es_n0_db_values(self) -> List[float]:
+        return [snr for snr, _ in self.points]
+
+    def violation(self, measured: Mapping[float, float]) -> float:
+        """Worst violation in decades over the curve (0 if satisfied).
+
+        ``measured`` maps Es/N0 (dB) to measured BER; every curve point
+        must be present.
+        """
+        worst = 0.0
+        for es_n0_db, max_ber in self.points:
+            if es_n0_db not in measured:
+                raise ConfigurationError(
+                    f"no measurement at Es/N0 = {es_n0_db} dB"
+                )
+            ber = measured[es_n0_db]
+            if math.isnan(ber):
+                return math.inf
+            if ber > max_ber:
+                floor = max(ber, 1e-300)
+                worst = max(worst, math.log10(floor / max_ber))
+        return worst
+
+
+@dataclass
+class DesignGoal:
+    """Objectives plus constraints: the full specification of a search.
+
+    ``ber_curve`` is optional; when present the evaluator is expected to
+    publish a ``ber_violation`` metric (in decades) which is constrained
+    to zero.
+    """
+
+    objectives: List[Objective] = field(default_factory=list)
+    constraints: List[Constraint] = field(default_factory=list)
+    ber_curve: Optional[BERThresholdCurve] = None
+
+    def __post_init__(self) -> None:
+        if not self.objectives:
+            raise ConfigurationError("a design goal needs at least one objective")
+
+    @property
+    def primary(self) -> Objective:
+        return self.objectives[0]
+
+    def all_constraints(self) -> List[Constraint]:
+        extra = []
+        if self.ber_curve is not None:
+            extra.append(Constraint(metric="ber_violation", upper=0.0))
+        return self.constraints + extra
+
+    def total_violation(self, metrics: Metrics) -> float:
+        """Sum of relative violations (0 means feasible)."""
+        return sum(c.violation(metrics) for c in self.all_constraints())
+
+    def is_feasible(self, metrics: Metrics) -> bool:
+        return self.total_violation(metrics) == 0.0
+
+    def compare(self, a: Metrics, b: Metrics) -> int:
+        """Feasibility-first comparison: negative when ``a`` is better.
+
+        Feasible points beat infeasible ones; among feasible points the
+        primary objective decides; among infeasible ones the smaller
+        total violation wins (so the search climbs toward feasibility).
+        """
+        va, vb = self.total_violation(a), self.total_violation(b)
+        feasible_a, feasible_b = va == 0.0, vb == 0.0
+        if feasible_a != feasible_b:
+            return -1 if feasible_a else 1
+        if feasible_a:
+            sa, sb = self.primary.score(a), self.primary.score(b)
+        else:
+            sa, sb = va, vb
+        if sa < sb:
+            return -1
+        if sa > sb:
+            return 1
+        return 0

@@ -1,0 +1,62 @@
+"""Pareto-front utilities for multi-metric trade-off reporting.
+
+A MetaCore search optimizes one primary objective under constraints,
+but the *reporting* of trade-offs (area vs. BER vs. throughput, as in
+the paper's Table 1 discussion) needs Pareto fronts over evaluation
+logs.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Mapping, Sequence
+
+from repro.core.evaluation import EvaluationRecord
+from repro.core.objectives import Objective
+from repro.errors import ConfigurationError
+
+
+def dominates(
+    a: Mapping[str, float],
+    b: Mapping[str, float],
+    objectives: Sequence[Objective],
+) -> bool:
+    """True when ``a`` is at least as good as ``b`` on every objective
+    and strictly better on at least one."""
+    if not objectives:
+        raise ConfigurationError("need at least one objective")
+    at_least_as_good = True
+    strictly_better = False
+    for objective in objectives:
+        sa, sb = objective.score(a), objective.score(b)
+        if sa > sb:
+            at_least_as_good = False
+            break
+        if sa < sb:
+            strictly_better = True
+    return at_least_as_good and strictly_better
+
+
+def pareto_front(
+    records: Iterable[EvaluationRecord],
+    objectives: Sequence[Objective],
+) -> List[EvaluationRecord]:
+    """Non-dominated subset of an evaluation log.
+
+    Later records shadow earlier ones with the same design point (the
+    later one was evaluated at equal or higher fidelity).
+    """
+    latest = {}
+    for record in records:
+        latest[record.point] = record
+    candidates = list(latest.values())
+    front: List[EvaluationRecord] = []
+    for record in candidates:
+        if any(
+            dominates(other.metrics, record.metrics, objectives)
+            for other in candidates
+            if other is not record
+        ):
+            continue
+        front.append(record)
+    front.sort(key=lambda r: objectives[0].score(r.metrics))
+    return front

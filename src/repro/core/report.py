@@ -1,0 +1,119 @@
+"""Textual reporting of search results.
+
+Formats the artifacts a MetaCore user reads after a run: the winner, a
+ranked table of the best candidates, the evaluation-effort breakdown,
+and Pareto fronts — the textual equivalents of the result views the
+paper's GUI (Fig. 7) offered.
+"""
+
+from __future__ import annotations
+
+import math
+from functools import cmp_to_key
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.evaluation import EvaluationRecord
+from repro.core.objectives import DesignGoal, Objective
+from repro.core.pareto import pareto_front
+from repro.core.search import SearchResult
+
+
+def _format_value(value: object) -> str:
+    if isinstance(value, float):
+        if value == 0 or 1e-3 <= abs(value) < 1e5:
+            return f"{value:.4g}"
+        return f"{value:.3e}"
+    return str(value)
+
+
+def format_point(point: Dict[str, object]) -> str:
+    """One-line rendering of a design point."""
+    return ", ".join(f"{k}={_format_value(v)}" for k, v in sorted(point.items()))
+
+
+def ranked_candidates(
+    result: SearchResult, goal: DesignGoal, top: int = 10
+) -> List[EvaluationRecord]:
+    """The best distinct candidates of a run, best first.
+
+    Each point appears once with its highest-fidelity record.
+    """
+    latest: Dict[tuple, EvaluationRecord] = {}
+    for record in result.log.records:
+        existing = latest.get(record.point)
+        if existing is None or record.fidelity >= existing.fidelity:
+            latest[record.point] = record
+    records = sorted(
+        latest.values(),
+        key=cmp_to_key(lambda a, b: goal.compare(a.metrics, b.metrics)),
+    )
+    return records[:top]
+
+
+def format_search_report(
+    result: SearchResult,
+    goal: DesignGoal,
+    top: int = 10,
+    metrics: Optional[Sequence[str]] = None,
+) -> str:
+    """A full text report of one search run."""
+    lines: List[str] = []
+    lines.append("=" * 64)
+    lines.append(f"search report ({result.method})")
+    lines.append("=" * 64)
+    lines.append(
+        f"evaluations: {result.log.n_evaluations} "
+        f"(by fidelity {result.log.by_fidelity()}), "
+        f"unique points: {result.log.unique_points()}, "
+        f"wall time in evaluators: {result.log.total_time_s:.1f} s"
+    )
+    lines.append(f"regions explored: {result.regions_explored}")
+    lines.append(f"specification feasible: {result.feasible}")
+    lines.append("")
+    if result.best is not None:
+        lines.append("winner:")
+        lines.append(f"  {format_point(result.best.as_point())}")
+        for name, value in sorted(result.best.metrics.items()):
+            lines.append(f"    {name:28s} {_format_value(value)}")
+        lines.append("")
+    candidates = ranked_candidates(result, goal, top)
+    if candidates:
+        metric_names = list(metrics) if metrics else _default_metrics(goal)
+        header = f"{'rank':>4s}  " + "  ".join(
+            f"{name:>14s}" for name in metric_names
+        ) + "  point"
+        lines.append(f"top {len(candidates)} candidates:")
+        lines.append(header)
+        for rank, record in enumerate(candidates, start=1):
+            row = f"{rank:>4d}  " + "  ".join(
+                f"{_format_value(record.metrics.get(name, math.nan)):>14s}"
+                for name in metric_names
+            )
+            lines.append(row + f"  {format_point(record.as_point())}")
+    return "\n".join(lines)
+
+
+def _default_metrics(goal: DesignGoal) -> List[str]:
+    names = [objective.metric for objective in goal.objectives]
+    for constraint in goal.all_constraints():
+        if constraint.metric not in names:
+            names.append(constraint.metric)
+    return names
+
+
+def format_pareto_report(
+    result: SearchResult, objectives: Sequence[Objective]
+) -> str:
+    """The non-dominated trade-off frontier of a run's evaluations."""
+    front = pareto_front(result.log.records, objectives)
+    lines = [
+        f"Pareto front over ({', '.join(o.metric for o in objectives)}): "
+        f"{len(front)} points"
+    ]
+    for record in front:
+        values = "  ".join(
+            f"{o.metric}={_format_value(record.metrics.get(o.metric, math.nan))}"
+            for o in objectives
+        )
+        lines.append(f"  {values}  | {format_point(record.as_point())}")
+    return "\n".join(lines)

@@ -1,0 +1,331 @@
+"""Multiresolution design-space search (paper Sec. 4.4, Fig. 6).
+
+The algorithm follows the paper's pseudo code:
+
+1. evaluate every point of a sparse grid over the current region
+   (cheap, low-fidelity cost evaluations — short simulations);
+2. rank the points (feasibility first, then the primary objective;
+   probabilistic BER measurements are regularized through the Bayesian
+   neighbor predictor before ranking);
+3. extract the sub-regions enclosed by the most promising points'
+   grid neighbors (``Refine_Grid``);
+4. recurse into each sub-region with a finer grid and more accurate,
+   longer-running evaluations, until the maximum search resolution.
+
+The search is greedy by design — the paper justifies this with speed
+and simplicity, and notes result quality can be traded for run time by
+relaxing the pruning; the ``refine_top_k`` and fidelity schedule knobs
+expose exactly that trade-off.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from functools import cmp_to_key
+from typing import Callable, Dict, List, Optional, Set, Tuple
+
+from repro.core.bayes import BayesianBERPredictor
+from repro.core.evaluation import (
+    CachingEvaluator,
+    EvaluationLog,
+    EvaluationRecord,
+    Evaluator,
+    Metrics,
+)
+from repro.core.grid import DEFAULT_MAX_GRID_POINTS, GridSample, Region
+from repro.core.objectives import DesignGoal
+from repro.core.parameters import DesignSpace, Point, frozen_point
+from repro.errors import InfeasibleSpecError
+
+
+@dataclass
+class SearchConfig:
+    """Knobs of the multiresolution search."""
+
+    #: Recursion depth: resolution levels 0 .. max_resolution.
+    max_resolution: int = 2
+    #: Resolution added per recursion (Fig. 6's Resolution_Increment).
+    resolution_increment: int = 1
+    #: Evaluation budget per grid (the paper's "up to 256 instances").
+    max_grid_points: int = DEFAULT_MAX_GRID_POINTS
+    #: Number of promising points whose regions are refined per level.
+    refine_top_k: int = 3
+    #: Use the Bayesian neighbor predictor for probabilistic metrics.
+    use_bayesian_ber: bool = True
+    #: Re-evaluate the winner at the evaluator's top fidelity.
+    confirm_best: bool = True
+    #: How many top-ranked candidates the confirmation pass re-prices;
+    #: with noisy cheap evaluations the cheapest *apparent* winner is
+    #: not always the true one.
+    confirm_top_k: int = 3
+
+
+@dataclass
+class SearchResult:
+    """Outcome of a search run."""
+
+    best: Optional[EvaluationRecord]
+    feasible: bool
+    log: EvaluationLog
+    regions_explored: int = 0
+    method: str = "multiresolution"
+
+    @property
+    def best_point(self) -> Optional[Point]:
+        """The winning design point (None if nothing was evaluated)."""
+        return self.best.as_point() if self.best else None
+
+    @property
+    def best_metrics(self) -> Optional[Metrics]:
+        """The winner's (confirmed) metrics record."""
+        return self.best.metrics if self.best else None
+
+    def require_feasible(self) -> EvaluationRecord:
+        """The winning record, or :class:`InfeasibleSpecError`."""
+        if self.best is None or not self.feasible:
+            raise InfeasibleSpecError(
+                "no design point satisfies the specification"
+            )
+        return self.best
+
+    def summary(self) -> str:
+        """Human-readable one-paragraph run summary."""
+        lines = [
+            f"method: {self.method}",
+            f"evaluations: {self.log.n_evaluations} "
+            f"(by fidelity {self.log.by_fidelity()})",
+            f"regions explored: {self.regions_explored}",
+            f"feasible: {self.feasible}",
+        ]
+        if self.best is not None:
+            lines.append(f"best: {self.best}")
+        return "\n".join(lines)
+
+
+#: Optional point repair hook: canonicalizes dependent parameters (e.g.
+#: clamps M to 2**(K-1)) so every grid point is evaluable.
+PointNormalizer = Callable[[Point], Point]
+
+
+class MetacoreSearch:
+    """The recursive multiresolution search of Fig. 6."""
+
+    def __init__(
+        self,
+        space: DesignSpace,
+        goal: DesignGoal,
+        evaluator: Evaluator,
+        config: Optional[SearchConfig] = None,
+        normalizer: Optional[PointNormalizer] = None,
+    ) -> None:
+        self.space = space
+        self.goal = goal
+        self.config = config or SearchConfig()
+        self.normalizer = normalizer
+        self.log = EvaluationLog()
+        self.evaluator = CachingEvaluator(evaluator, self.log)
+        self.predictor = BayesianBERPredictor(space)
+        self._ranked: Dict[Tuple, Metrics] = {}
+        self._regions_seen: Set[Tuple] = set()
+
+    # ------------------------------------------------------------------
+
+    def run(self) -> SearchResult:
+        """Execute the full search and return the best design found."""
+        self._ranked.clear()
+        self._regions_seen.clear()
+        self._search_region(Region.full(self.space), level=0)
+        best_key, metrics = self._confirm_winner()
+        best: Optional[EvaluationRecord] = None
+        feasible = False
+        if best_key is not None and metrics is not None:
+            best = EvaluationRecord(
+                point=best_key,
+                fidelity=self.evaluator.max_fidelity
+                if self.config.confirm_best
+                else 0,
+                metrics=dict(metrics),
+            )
+            feasible = self.goal.is_feasible(metrics)
+        return SearchResult(
+            best=best,
+            feasible=feasible,
+            log=self.log,
+            regions_explored=len(self._regions_seen),
+        )
+
+    def _confirm_winner(self) -> Tuple[Optional[Tuple], Optional[Metrics]]:
+        """Re-price the top-ranked candidates at full fidelity.
+
+        Cheap evaluations rank; expensive ones decide.  The top
+        ``confirm_top_k`` candidates by the search's (possibly noisy)
+        ranking are re-evaluated at the evaluator's highest fidelity
+        and compared on the confirmed numbers.
+        """
+        if not self._ranked:
+            return None, None
+        ranked_keys = sorted(
+            self._ranked,
+            key=cmp_to_key(
+                lambda a, b: self.goal.compare(self._ranked[a], self._ranked[b])
+            ),
+        )
+        if not self.config.confirm_best:
+            key = ranked_keys[0]
+            return key, self._ranked[key]
+        best_key: Optional[Tuple] = None
+        best_metrics: Optional[Metrics] = None
+        top_k = max(1, self.config.confirm_top_k)
+        # When the apparent winners turn out infeasible on confirmation
+        # (noisy cheap estimates near a constraint boundary), keep
+        # walking the ranked list a while before giving up — but only
+        # while the misses are *near* misses; grossly infeasible
+        # confirmations mean the spec is out of reach and further
+        # expensive confirmations are wasted.
+        extended_cap = max(top_k, 4 * top_k)
+        near_miss_violation = 0.5
+        for index, key in enumerate(ranked_keys):
+            if index >= top_k:
+                if best_metrics is not None and self.goal.is_feasible(
+                    best_metrics
+                ):
+                    break
+                if index >= extended_cap:
+                    break
+                if (
+                    best_metrics is not None
+                    and self.goal.total_violation(best_metrics)
+                    > near_miss_violation
+                ):
+                    break
+            metrics = self.evaluator.evaluate(
+                dict(key), self.evaluator.max_fidelity
+            )
+            if best_metrics is None or self.goal.compare(metrics, best_metrics) < 0:
+                best_key, best_metrics = key, metrics
+        return best_key, best_metrics
+
+    # ------------------------------------------------------------------
+
+    def _fidelity_for_level(self, level: int) -> int:
+        return min(level, self.evaluator.max_fidelity)
+
+    def _normalize(self, point: Point) -> Point:
+        return self.normalizer(point) if self.normalizer else point
+
+    def _evaluate_grid(
+        self, grid: GridSample, fidelity: int
+    ) -> List[Tuple[Point, Metrics]]:
+        """Evaluate a grid, applying the Bayesian BER regularization."""
+        results: List[Tuple[Point, Metrics]] = []
+        seen: Set[Tuple] = set()
+        for raw_point in grid.points:
+            point = self._normalize(dict(raw_point))
+            key = frozen_point(point)
+            if key in seen:
+                continue  # normalization may collapse grid points
+            seen.add(key)
+            metrics = dict(self.evaluator.evaluate(point, fidelity))
+            metrics = self._apply_bayes(point, metrics)
+            self._record_ranked(key, metrics)
+            results.append((point, metrics))
+        return results
+
+    def _apply_bayes(self, point: Point, metrics: Dict[str, float]) -> Dict[str, float]:
+        """Replace a noisy short-simulation BER with its posterior.
+
+        Evaluators publish Monte-Carlo counts (``ber_errors`` /
+        ``ber_bits``) and the binding threshold (``ber_threshold``);
+        analytic estimates publish ``ber`` only.  The posterior mean
+        recomputes ``ber_violation`` so that ranking (and therefore
+        pruning) is driven by the regularized value.
+        """
+        if not self.config.use_bayesian_ber or self.goal.ber_curve is None:
+            return metrics
+        threshold = metrics.get("ber_threshold")
+        errors = metrics.get("ber_errors")
+        bits = metrics.get("ber_bits")
+        if errors is not None and bits:
+            belief = self.predictor.add_measurement(
+                point, int(errors), int(bits)
+            )
+        elif "ber" in metrics and math.isfinite(metrics["ber"]):
+            belief = self.predictor.add_estimate(point, metrics["ber"])
+        else:
+            return metrics
+        if threshold:
+            posterior_ber = belief.ber
+            metrics["ber_posterior"] = posterior_ber
+            metrics["ber_violation"] = max(
+                0.0, math.log10(max(posterior_ber, 1e-300) / threshold)
+            )
+        return metrics
+
+    def _record_ranked(self, key: Tuple, metrics: Metrics) -> None:
+        existing = self._ranked.get(key)
+        if existing is None or self.goal.compare(metrics, existing) < 0:
+            self._ranked[key] = metrics
+
+    def _current_best_key(self) -> Optional[Tuple]:
+        best_key = None
+        best_metrics: Optional[Metrics] = None
+        for key, metrics in self._ranked.items():
+            if best_metrics is None or self.goal.compare(metrics, best_metrics) < 0:
+                best_key, best_metrics = key, metrics
+        return best_key
+
+    # ------------------------------------------------------------------
+
+    def _search_region(self, region: Region, level: int) -> None:
+        """One recursion of Fig. 6: evaluate grid, refine, descend."""
+        # A coarse grid with two samples per axis can refine to its own
+        # bounds, so identical bounds at a *finer* resolution are still
+        # a new grid — key by (bounds, level).
+        region_key = (region.bounds, level)
+        if region_key in self._regions_seen:
+            return
+        self._regions_seen.add(region_key)
+        resolution = level * self.config.resolution_increment
+        grid = region.grid(resolution, self.config.max_grid_points)
+        fidelity = self._fidelity_for_level(level)
+        evaluated = self._evaluate_grid(grid, fidelity)
+        if level >= self.config.max_resolution:
+            return
+        ranked = sorted(
+            evaluated,
+            key=cmp_to_key(lambda a, b: self.goal.compare(a[1], b[1])),
+        )
+        for point, metrics in ranked[: self.config.refine_top_k]:
+            if not math.isfinite(self.goal.primary.score(metrics)) and not math.isfinite(
+                self.goal.total_violation(metrics)
+            ):
+                continue  # nothing to learn from a dead region
+            # Refinement needs the *grid* point (pre-normalization) to
+            # locate neighbors; reconstruct it if normalization moved it.
+            grid_point = self._closest_grid_point(point, grid)
+            if grid_point is None:
+                continue
+            sub_region = region.refine_around(grid_point, grid.samples)
+            self._search_region(sub_region, level + 1)
+
+    @staticmethod
+    def _closest_grid_point(point: Point, grid: GridSample) -> Optional[Point]:
+        """The raw grid point matching a (possibly normalized) point."""
+        for candidate in grid.points:
+            if all(
+                candidate[name] == value
+                for name, value in point.items()
+                if name in candidate
+            ):
+                return dict(candidate)
+        # Normalization moved some coordinate off-grid: fall back to the
+        # grid point agreeing on the most coordinates.
+        best, best_score = None, -1
+        for candidate in grid.points:
+            score = sum(
+                1 for name, value in point.items() if candidate.get(name) == value
+            )
+            if score > best_score:
+                best, best_score = dict(candidate), score
+        return best

@@ -1,0 +1,36 @@
+"""Exception hierarchy for the repro library.
+
+Every error raised by the library derives from :class:`ReproError` so
+callers can catch library failures without masking programming errors.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all library-specific errors."""
+
+
+class ConfigurationError(ReproError, ValueError):
+    """An object was constructed with inconsistent or invalid parameters."""
+
+
+class DesignSpaceError(ReproError, ValueError):
+    """A design-space definition or point is malformed."""
+
+
+class InfeasibleSpecError(ReproError):
+    """No design point in the space satisfies the requested constraints.
+
+    Raised (or reported, depending on API) when a search concludes that a
+    specification cannot be met — e.g. the paper's Table 3 row asking for
+    BER 1e-9 at 1 Mbps, which is marked "Not Feasible".
+    """
+
+
+class SynthesisError(ReproError):
+    """The hardware estimation pipeline could not evaluate an instance."""
+
+
+class FilterDesignError(ReproError, ValueError):
+    """An IIR filter specification cannot be realized as requested."""

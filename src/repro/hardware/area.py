@@ -1,0 +1,143 @@
+"""Area model anchored on the LSI Logic TR4101 (paper Sec. 4.3).
+
+The paper scales a TR4101-based area estimate with the quadratic
+feature-size factor::
+
+    lambda = (alpha / 0.35)**2 * data_path_factor
+
+where ``data_path_factor`` (from [Erc98]) adjusts for data paths
+narrower than the TR4101's 32 bits.  We decompose the core area into
+the components Trimaran parameterizes — control/fetch, ALUs, the bypass
+network, memory ports, the register file — plus flop-based on-chip
+storage for the trellis state (accumulated metrics, path memory,
+branch tables).
+
+The constants below were calibrated once so that the three Viterbi
+instances of the paper's Table 1 land at approximately their published
+areas (0.26 / 0.56 / 1.73 mm^2 at 1 Mbps); everything else the model is
+used for follows without further tuning.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.hardware.clock import TR4101_FEATURE_UM, TR4101_WIDTH_BITS
+
+# ---------------------------------------------------------------------------
+# Calibrated component areas, in mm^2 at 0.35 um for a 32-bit datapath.
+# ---------------------------------------------------------------------------
+
+#: Fixed control/fetch/decode area plus its per-issue-slot increment.
+CONTROL_BASE_MM2 = 0.25
+CONTROL_PER_ISSUE_MM2 = 0.04
+
+#: One 32-bit ALU (add/sub/compare/logic).
+ALU_MM2 = 0.25
+
+#: One 32-bit multiplier (used by the IIR datapaths, not the decoder).
+MULT_MM2 = 1.10
+
+#: One memory (load/store) port.
+MEM_PORT_MM2 = 0.08
+
+#: A 32-entry, 32-bit register file; scales linearly with entries.
+REGFILE_MM2 = 0.15
+REGFILE_WORDS = 32
+
+#: Bypass/forwarding network between functional units; grows with the
+#: square of the ALU count (all-to-all forwarding).
+BYPASS_PER_ALU2_MM2 = 0.01
+
+#: Flop-based on-chip storage (path memory, metrics, branch tables).
+STORAGE_PER_BIT_MM2 = 3.0e-4
+
+#: Affine width scaling: a narrow datapath still pays a fixed share of
+#: wiring/control inside each unit ([Erc98]-style data_path_factor).
+WIDTH_FACTOR_FLOOR = 0.25
+
+
+def data_path_factor(width_bits: int) -> float:
+    """Area factor of a ``width_bits`` datapath relative to 32 bits."""
+    if width_bits < 1:
+        raise ConfigurationError("datapath width must be positive")
+    width = min(width_bits, TR4101_WIDTH_BITS)
+    return WIDTH_FACTOR_FLOOR + (1.0 - WIDTH_FACTOR_FLOOR) * (
+        width / float(TR4101_WIDTH_BITS)
+    )
+
+
+def feature_scale(feature_um: float) -> float:
+    """The paper's quadratic feature-size scaling ``(alpha/0.35)**2``."""
+    if feature_um <= 0:
+        raise ConfigurationError("feature size must be positive")
+    return (feature_um / TR4101_FEATURE_UM) ** 2
+
+
+@dataclass(frozen=True)
+class AreaBreakdown:
+    """Itemized area estimate (mm^2, at the target feature size)."""
+
+    control: float
+    alus: float
+    mults: float
+    bypass: float
+    mem_ports: float
+    regfile: float
+    storage: float
+
+    @property
+    def total(self) -> float:
+        return (
+            self.control
+            + self.alus
+            + self.mults
+            + self.bypass
+            + self.mem_ports
+            + self.regfile
+            + self.storage
+        )
+
+    def __str__(self) -> str:
+        return (
+            f"total={self.total:.3f} mm^2 (control={self.control:.3f}, "
+            f"alus={self.alus:.3f}, mults={self.mults:.3f}, "
+            f"bypass={self.bypass:.3f}, mem={self.mem_ports:.3f}, "
+            f"regfile={self.regfile:.3f}, storage={self.storage:.3f})"
+        )
+
+
+def estimate_area(
+    n_alus: int,
+    n_mem_ports: int,
+    datapath_width: int,
+    storage_bits: int,
+    feature_um: float,
+    n_mults: int = 0,
+    regfile_words: int = REGFILE_WORDS,
+) -> AreaBreakdown:
+    """Area of a Trimaran-style machine instance.
+
+    All datapath components (ALUs, multipliers, register file) scale
+    with the data-path factor; control scales with issue width but not
+    datapath width; everything scales quadratically with feature size.
+    """
+    if n_alus < 1:
+        raise ConfigurationError("need at least one ALU")
+    if n_mem_ports < 1:
+        raise ConfigurationError("need at least one memory port")
+    if storage_bits < 0 or n_mults < 0 or regfile_words < 1:
+        raise ConfigurationError("invalid machine description")
+    dpf = data_path_factor(datapath_width)
+    lam = feature_scale(feature_um)
+    issue_width = n_alus + n_mults + n_mem_ports + 1  # +1 branch slot
+    return AreaBreakdown(
+        control=(CONTROL_BASE_MM2 + CONTROL_PER_ISSUE_MM2 * issue_width) * lam,
+        alus=ALU_MM2 * n_alus * dpf * lam,
+        mults=MULT_MM2 * n_mults * dpf * lam,
+        bypass=BYPASS_PER_ALU2_MM2 * (n_alus + n_mults) ** 2 * dpf * lam,
+        mem_ports=MEM_PORT_MM2 * n_mem_ports * lam,
+        regfile=REGFILE_MM2 * (regfile_words / REGFILE_WORDS) * dpf * lam,
+        storage=STORAGE_PER_BIT_MM2 * storage_bits * lam,
+    )

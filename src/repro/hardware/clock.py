@@ -1,0 +1,42 @@
+"""Clock-rate model (paper Sec. 4.3).
+
+The paper's model assumes "clock rates scale linearly with feature size
+with smaller sizes resulting in faster clock rates" and applies
+width-dependent scaling factors from [Erc98] for narrower data paths
+(shorter carry chains close timing at higher frequencies).  The anchor
+point is the LSI Logic TR4101: a 32-bit core at 0.35 µm running at a
+maximum of 81 MHz.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+
+#: The TR4101 anchor: 81 MHz at 0.35 um with a 32-bit data path.
+TR4101_CLOCK_MHZ = 81.0
+TR4101_FEATURE_UM = 0.35
+TR4101_WIDTH_BITS = 32
+
+#: Exponent of the mild width speedup: a half-width datapath is about
+#: 7% faster, reflecting shorter carry chains but unchanged control
+#: paths (fit to the multiple-precision data of [Erc98]).
+WIDTH_SPEED_EXPONENT = 0.10
+
+
+def width_speed_factor(width_bits: int) -> float:
+    """Clock speedup of a ``width_bits`` datapath relative to 32 bits."""
+    if width_bits < 1:
+        raise ConfigurationError("datapath width must be positive")
+    return (TR4101_WIDTH_BITS / float(width_bits)) ** WIDTH_SPEED_EXPONENT
+
+
+def clock_mhz(feature_um: float, width_bits: int = TR4101_WIDTH_BITS) -> float:
+    """Maximum clock rate for a feature size and datapath width.
+
+    Linear scaling in feature size around the TR4101 anchor point, with
+    the width factor of :func:`width_speed_factor` applied on top.
+    """
+    if feature_um <= 0:
+        raise ConfigurationError("feature size must be positive")
+    scale = TR4101_FEATURE_UM / feature_um
+    return TR4101_CLOCK_MHZ * scale * width_speed_factor(width_bits)

@@ -1,0 +1,250 @@
+"""Node-level dataflow-graph scheduling (HYPER's actual mechanics).
+
+The calibrated synthesis estimator (:mod:`repro.hardware.synthesis`)
+prices IIR datapaths from operation *counts* and bounds.  This module
+implements the machinery those bounds abstract: an explicit dataflow
+graph of multiply/add nodes with dependence edges, ASAP/ALAP timing,
+slack/mobility, and resource-constrained list scheduling — so estimates
+can be validated node-by-node and users can inspect real schedules.
+
+Graphs for the filter structures are built from their coefficient
+topology (`dfg_from_sections` covers the cascade/parallel family, the
+main users of resource sharing).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import ConfigurationError
+
+#: Operation kinds with their (relative) single-cycle resource classes.
+OP_KINDS = ("mult", "add")
+
+
+@dataclass
+class DFGNode:
+    """One operation in a dataflow graph."""
+
+    index: int
+    kind: str
+    #: Indices of nodes whose results this node consumes.
+    predecessors: Tuple[int, ...] = ()
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        if self.kind not in OP_KINDS:
+            raise ConfigurationError(f"unknown op kind {self.kind!r}")
+
+
+@dataclass
+class DataflowGraph:
+    """A DAG of operations executed once per sample."""
+
+    nodes: List[DFGNode] = field(default_factory=list)
+
+    def add(self, kind: str, predecessors: Sequence[int] = (), label: str = "") -> int:
+        """Append a node; returns its index."""
+        for predecessor in predecessors:
+            if not 0 <= predecessor < len(self.nodes):
+                raise ConfigurationError(
+                    f"predecessor {predecessor} does not exist yet"
+                )
+        node = DFGNode(
+            index=len(self.nodes),
+            kind=kind,
+            predecessors=tuple(predecessors),
+            label=label,
+        )
+        self.nodes.append(node)
+        return node.index
+
+    def count(self, kind: str) -> int:
+        return sum(1 for node in self.nodes if node.kind == kind)
+
+    # -- timing ----------------------------------------------------------
+
+    def asap(self) -> List[int]:
+        """Earliest start cycle per node (unit-latency operations)."""
+        times = [0] * len(self.nodes)
+        for node in self.nodes:  # nodes are in topological order
+            if node.predecessors:
+                times[node.index] = 1 + max(
+                    times[p] for p in node.predecessors
+                )
+        return times
+
+    def critical_path(self) -> int:
+        """Length of the longest dependence chain, in cycles."""
+        if not self.nodes:
+            return 0
+        return max(self.asap()) + 1
+
+    def alap(self, deadline: Optional[int] = None) -> List[int]:
+        """Latest start cycle per node meeting the deadline."""
+        horizon = (deadline if deadline is not None else self.critical_path()) - 1
+        if horizon + 1 < self.critical_path():
+            raise ConfigurationError("deadline shorter than the critical path")
+        times = [horizon] * len(self.nodes)
+        successors: Dict[int, List[int]] = {i: [] for i in range(len(self.nodes))}
+        for node in self.nodes:
+            for predecessor in node.predecessors:
+                successors[predecessor].append(node.index)
+        for node in reversed(self.nodes):
+            if successors[node.index]:
+                times[node.index] = (
+                    min(times[s] for s in successors[node.index]) - 1
+                )
+        return times
+
+    def mobility(self, deadline: Optional[int] = None) -> List[int]:
+        """Slack (ALAP - ASAP) per node; 0 = on the critical path."""
+        asap_times = self.asap()
+        alap_times = self.alap(deadline)
+        return [l - e for e, l in zip(asap_times, alap_times)]
+
+
+@dataclass(frozen=True)
+class ListSchedule:
+    """Outcome of resource-constrained list scheduling."""
+
+    cycles: int
+    #: node index -> start cycle
+    start_times: Tuple[int, ...]
+    resources: Dict[str, int]
+
+    def utilization(self, graph: DataflowGraph, kind: str) -> float:
+        """Busy fraction of the given resource class."""
+        units = self.resources.get(kind, 0)
+        if units == 0 or self.cycles == 0:
+            return 0.0
+        return graph.count(kind) / (units * self.cycles)
+
+
+def list_schedule(
+    graph: DataflowGraph, resources: Dict[str, int]
+) -> ListSchedule:
+    """Mobility-ordered list scheduling with unit-latency operations.
+
+    Classic HYPER-style heuristic: at every cycle, ready nodes compete
+    for their resource class; lower mobility (closer to the critical
+    path) wins.
+    """
+    for kind in OP_KINDS:
+        if graph.count(kind) > 0 and resources.get(kind, 0) < 1:
+            raise ConfigurationError(f"no {kind} units provided")
+    n = len(graph.nodes)
+    mobility = graph.mobility()
+    start = [-1] * n
+    done = [False] * n
+    remaining = n
+    cycle = 0
+    while remaining > 0:
+        if cycle > 4 * n + 16:
+            raise ConfigurationError("list scheduling failed to converge")
+        budget = dict(resources)
+        ready = [
+            node
+            for node in graph.nodes
+            if start[node.index] < 0
+            and all(
+                done[p] for p in node.predecessors
+            )
+        ]
+        ready.sort(key=lambda node: (mobility[node.index], node.index))
+        scheduled_now = []
+        for node in ready:
+            if budget.get(node.kind, 0) > 0:
+                budget[node.kind] -= 1
+                start[node.index] = cycle
+                scheduled_now.append(node.index)
+                remaining -= 1
+        for index in scheduled_now:
+            pass  # results become visible at the *next* cycle
+        cycle += 1
+        for index in scheduled_now:
+            done[index] = True
+    return ListSchedule(
+        cycles=cycle, start_times=tuple(start), resources=dict(resources)
+    )
+
+
+def minimum_resources(
+    graph: DataflowGraph, deadline: int
+) -> Dict[str, int]:
+    """Smallest unit counts meeting a cycle deadline (greedy search)."""
+    if deadline < graph.critical_path():
+        raise ConfigurationError("deadline shorter than the critical path")
+    resources = {
+        kind: max(1, -(-graph.count(kind) // deadline))
+        for kind in OP_KINDS
+        if graph.count(kind)
+    }
+    while True:
+        schedule = list_schedule(graph, resources)
+        if schedule.cycles <= deadline:
+            return resources
+        # Grow the busiest class.
+        busiest = max(
+            resources,
+            key=lambda kind: graph.count(kind) / resources[kind],
+        )
+        resources[busiest] += 1
+
+
+# ---------------------------------------------------------------------------
+# Graph builders for the second-order-section structures
+# ---------------------------------------------------------------------------
+
+
+def dfg_from_sections(
+    sections: Sequence[Tuple[Sequence[float], Sequence[float]]],
+    parallel_sections: bool = False,
+) -> DataflowGraph:
+    """Dataflow graph of a cascade or parallel bank of DF2 sections.
+
+    Each (b, a) section contributes its multiplies and accumulation
+    adds; in cascade mode section i+1 consumes section i's output, in
+    parallel mode all sections consume the input and a final adder tree
+    merges them.
+    """
+    graph = DataflowGraph()
+    outputs: List[int] = []
+    source: Optional[int] = None  # None = primary input (no node)
+    for s_idx, (b, a) in enumerate(sections):
+        deps = [] if source is None else [source]
+        # Feedback multiplies (delayed states are register reads: no
+        # dependence on this sample's nodes).
+        feedback_adds: List[int] = []
+        for i, coeff in enumerate(list(a)[1:], start=1):
+            node = graph.add("mult", (), f"s{s_idx}.a{i}")
+            feedback_adds.append(node)
+        # w = u - sum(a_i w[n-i]): chain of adds off the section input.
+        acc = None
+        for node in feedback_adds:
+            previous = [node] + ([acc] if acc is not None else deps)
+            acc = graph.add("add", [p for p in previous if p is not None],
+                            f"s{s_idx}.fb")
+        w_node = acc  # may be None for pure-FIR sections
+        # Feedforward multiplies off w (b0) and delayed w's.
+        ff_nodes = []
+        for i, coeff in enumerate(b):
+            preds = [w_node] if (i == 0 and w_node is not None) else []
+            ff_nodes.append(graph.add("mult", preds, f"s{s_idx}.b{i}"))
+        acc = ff_nodes[0]
+        for node in ff_nodes[1:]:
+            acc = graph.add("add", [acc, node], f"s{s_idx}.ff")
+        outputs.append(acc)
+        if not parallel_sections:
+            source = acc
+            outputs = [acc]
+    # Parallel merge tree.
+    while len(outputs) > 1:
+        merged = []
+        for i in range(0, len(outputs) - 1, 2):
+            merged.append(graph.add("add", [outputs[i], outputs[i + 1]], "merge"))
+        if len(outputs) % 2:
+            merged.append(outputs[-1])
+        outputs = merged
+    return graph

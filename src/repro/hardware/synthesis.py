@@ -1,0 +1,201 @@
+"""HYPER-style behavioral synthesis estimation for IIR datapaths.
+
+The paper evaluates each IIR candidate with the HYPER behavioral
+synthesis tools [Rab91]: Silage in, early estimates of execution units,
+registers, interconnect, clock cycle and cycle count out.  This module
+reproduces that estimation pipeline for the dataflow statistics our
+realization structures expose:
+
+1. pick the clock period from the slowest operator at the word length;
+2. check the *recursion bound* — operations on a feedback cycle cannot
+   be pipelined, so the cycle's latency caps the sample rate;
+3. compute resource-constrained unit counts from the ops-per-sample and
+   the cycles available in one sample period (list-scheduling bound);
+4. count registers (delays plus pipeline/working registers) and add an
+   interconnect term that grows with the unit count;
+5. price everything with word-length-dependent area models.
+
+Area constants are expressed at HYPER's era library (1.2 um) so the
+absolute numbers land in the paper's Table 4 range; they were
+calibrated once against that table's best-area column.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError, SynthesisError
+
+
+@dataclass(frozen=True)
+class DataflowStats:
+    """Per-output-sample dataflow characteristics of a datapath.
+
+    This is the contract between algorithm realizations (e.g. the IIR
+    structures) and the synthesis estimator.  ``loop_*`` counts are
+    along the longest feedback cycle: they bound the minimum sample
+    period, since a feedback loop cannot be pipelined (retiming moves
+    registers around a cycle but cannot add any).
+    """
+
+    multiplies: int
+    additions: int
+    delays: int
+    loop_multiplies: int
+    loop_additions: int
+    #: Chain-structured datapaths (cascade, lattice) wire functional
+    #: units neighbor-to-neighbor; global topologies (parallel sum,
+    #: direct forms, dense state updates) need all-to-all routing.  The
+    #: synthesis estimator charges interconnect accordingly.
+    chain_local: bool = False
+
+    @property
+    def total_ops(self) -> int:
+        return self.multiplies + self.additions
+
+#: Reference feature size for the constants below (HYPER-era library).
+REFERENCE_FEATURE_UM = 1.2
+
+#: Operator delays at the reference feature size, nanoseconds:
+#: ``delay = base + slope * word_length``.
+ADD_DELAY_BASE_NS = 2.0
+ADD_DELAY_SLOPE_NS = 0.35
+MULT_DELAY_BASE_NS = 5.0
+MULT_DELAY_SLOPE_NS = 2.0
+
+#: Operator areas at the reference feature size, mm^2.
+MULT_AREA_PER_BIT2 = 0.0075  # array multiplier: quadratic in word length
+ADD_AREA_PER_BIT = 0.030
+REGISTER_AREA_PER_BIT = 0.010
+CONTROL_AREA_MM2 = 1.5
+CONTROL_AREA_PER_OP = 0.010  # microcode/steering per scheduled operation
+INTERCONNECT_PER_UNIT2 = 0.30
+#: Chain-local datapaths stop paying quadratic wiring growth beyond
+#: this many functional units (neighbor-to-neighbor connections).
+LOCAL_INTERCONNECT_UNITS = 2
+
+
+def add_delay_ns(word_length: int) -> float:
+    """Ripple/carry-select adder delay at the reference library."""
+    return ADD_DELAY_BASE_NS + ADD_DELAY_SLOPE_NS * word_length
+
+
+def mult_delay_ns(word_length: int) -> float:
+    """Array multiplier delay at the reference library."""
+    return MULT_DELAY_BASE_NS + MULT_DELAY_SLOPE_NS * word_length
+
+
+@dataclass(frozen=True)
+class SynthesisEstimate:
+    """HYPER-style outputs for one candidate implementation.
+
+    ``latency_us`` is the input-to-output delay of one sample (the
+    paper's fourth IIR performance criterion): the serial feedback path
+    plus one output operation, rounded to whole clock cycles.
+    """
+
+    clock_ns: float
+    cycles_per_sample: int
+    latency_cycles: int
+    n_multipliers: int
+    n_adders: int
+    n_registers: int
+    area_mm2: float
+    sample_period_us: float
+
+    @property
+    def throughput_samples_per_s(self) -> float:
+        return 1.0e6 / self.sample_period_us
+
+    @property
+    def latency_us(self) -> float:
+        return self.latency_cycles * self.clock_ns / 1000.0
+
+
+def estimate_iir_implementation(
+    stats: DataflowStats,
+    word_length: int,
+    sample_period_us: float,
+    feature_um: float = REFERENCE_FEATURE_UM,
+) -> SynthesisEstimate:
+    """Estimate the implementation of a realization at a sample rate.
+
+    Raises :class:`SynthesisError` when the sample period is shorter
+    than the structure's recursion bound — no amount of hardware makes
+    a serial feedback loop faster, which is what pushes the long-loop
+    structures (ladder, continued fraction) out of the running at the
+    paper's high-throughput rows.
+    """
+    if word_length < 4:
+        raise ConfigurationError("word length below 4 bits is not supported")
+    if sample_period_us <= 0:
+        raise ConfigurationError("sample period must be positive")
+    scale = feature_um / REFERENCE_FEATURE_UM
+    clock_ns = (
+        mult_delay_ns(word_length)
+        if stats.multiplies
+        else add_delay_ns(word_length)
+    ) * scale
+    sample_ns = sample_period_us * 1000.0
+    cycles = int(sample_ns // clock_ns)
+    if cycles < 1:
+        raise SynthesisError(
+            f"clock period {clock_ns:.1f} ns exceeds the sample period"
+        )
+    # Recursion bound: the longest feedback cycle must fit in one
+    # sample period (loop operations execute strictly in sequence).
+    loop_ns = (
+        stats.loop_multiplies * mult_delay_ns(word_length)
+        + stats.loop_additions * add_delay_ns(word_length)
+    ) * scale
+    if loop_ns > sample_ns:
+        raise SynthesisError(
+            f"feedback loop needs {loop_ns:.0f} ns but the sample period "
+            f"is {sample_ns:.0f} ns"
+        )
+    # Dependence chains consume schedule slots; the loop leaves only
+    # the remaining cycles for resource sharing.
+    loop_cycles = max(
+        1, math.ceil(loop_ns / clock_ns)
+    )
+    usable_cycles = max(1, cycles - max(0, loop_cycles - 1))
+    n_multipliers = max(
+        1 if stats.multiplies else 0,
+        math.ceil(stats.multiplies / usable_cycles),
+    )
+    n_adders = max(
+        1 if stats.additions else 0,
+        math.ceil(stats.additions / usable_cycles),
+    )
+    units = n_multipliers + n_adders
+    # Registers: the structure's delays plus one working register per
+    # functional unit (pipeline/staging).
+    n_registers = stats.delays + units
+    lam = (feature_um / REFERENCE_FEATURE_UM) ** 2
+    interconnect = INTERCONNECT_PER_UNIT2 * units**2
+    if stats.chain_local and units > LOCAL_INTERCONNECT_UNITS:
+        # Linear wiring growth once the chain spreads over many units.
+        interconnect = (
+            INTERCONNECT_PER_UNIT2
+            * units**2
+            * (LOCAL_INTERCONNECT_UNITS / units)
+        )
+    area = (
+        n_multipliers * MULT_AREA_PER_BIT2 * word_length**2
+        + n_adders * ADD_AREA_PER_BIT * word_length
+        + n_registers * REGISTER_AREA_PER_BIT * word_length
+        + CONTROL_AREA_MM2
+        + CONTROL_AREA_PER_OP * stats.total_ops
+        + interconnect
+    ) * lam
+    return SynthesisEstimate(
+        clock_ns=clock_ns,
+        cycles_per_sample=cycles,
+        latency_cycles=loop_cycles + 1,
+        n_multipliers=n_multipliers,
+        n_adders=n_adders,
+        n_registers=n_registers,
+        area_mm2=area,
+        sample_period_us=sample_period_us,
+    )

@@ -1,0 +1,157 @@
+"""Operation-trace generation for Viterbi decoder instances.
+
+The paper generates C source for every candidate decoder and lets
+Trimaran compile, optimize and simulate it to count operations.  Here
+the same information — how much work one decoded bit costs, with what
+dependence structure, at what datapath width, with how much on-chip
+state — is derived analytically from the decoder parameters and
+packaged as a :class:`~repro.hardware.vliw.LeveledProgram` for the
+machine model.  The counts follow directly from the algorithm in
+Sec. 3.2/3.3: branch-metric evaluation and add-compare-select touch all
+``2**(K-1)`` states, the multiresolution recomputation touches only the
+``M`` best, and trace-back walks ``L`` survivor branches per bit.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.errors import ConfigurationError
+from repro.hardware.vliw import LeveledProgram
+
+#: Headroom bits in the accumulated-error registers above the branch
+#: metric width (covers summation growth between renormalizations).
+ACCUMULATOR_HEADROOM_BITS = 5
+
+
+def _ceil_log2(value: int) -> int:
+    return max(1, math.ceil(math.log2(max(value, 2))))
+
+
+@dataclass(frozen=True)
+class ViterbiInstanceParams:
+    """Algorithm-level parameters of one decoder instance (Table 2).
+
+    ``high_resolution_bits`` (R2) and ``multires_paths`` (M) are ``None``
+    for pure hard/soft decoding; ``normalization_count`` (N) is 0 then.
+    """
+
+    constraint_length: int
+    traceback_depth: int
+    low_resolution_bits: int
+    n_symbols: int = 2
+    high_resolution_bits: Optional[int] = None
+    multires_paths: Optional[int] = None
+    normalization_count: int = 0
+
+    def __post_init__(self) -> None:
+        if self.constraint_length < 2:
+            raise ConfigurationError("constraint length must be >= 2")
+        if self.traceback_depth < 1:
+            raise ConfigurationError("traceback depth must be >= 1")
+        if self.low_resolution_bits < 1:
+            raise ConfigurationError("R1 must be >= 1 bit")
+        if self.n_symbols < 1:
+            raise ConfigurationError("need >= 1 symbol per branch")
+        if (self.high_resolution_bits is None) != (self.multires_paths is None):
+            raise ConfigurationError("R2 and M must be given together")
+        if self.multires_paths is not None:
+            if not 1 <= self.multires_paths <= self.n_states:
+                raise ConfigurationError("M out of [1, 2**(K-1)]")
+            if self.high_resolution_bits <= self.low_resolution_bits:
+                raise ConfigurationError("R2 must exceed R1")
+            if not 1 <= self.normalization_count <= self.multires_paths:
+                raise ConfigurationError("N out of [1, M]")
+        elif self.normalization_count != 0:
+            raise ConfigurationError("N must be 0 without multiresolution")
+
+    @property
+    def n_states(self) -> int:
+        return 1 << (self.constraint_length - 1)
+
+    @property
+    def is_multiresolution(self) -> bool:
+        return self.multires_paths is not None
+
+    @property
+    def metric_width_bits(self) -> int:
+        """Width of low-resolution branch metrics."""
+        return self.low_resolution_bits + _ceil_log2(self.n_symbols)
+
+    @property
+    def high_metric_width_bits(self) -> int:
+        """Width of high-resolution branch metrics (0 without multires)."""
+        if not self.is_multiresolution:
+            return 0
+        return self.high_resolution_bits + _ceil_log2(self.n_symbols)
+
+    @property
+    def accumulator_width_bits(self) -> int:
+        base = max(self.metric_width_bits, self.high_metric_width_bits)
+        return base + ACCUMULATOR_HEADROOM_BITS
+
+    @property
+    def datapath_width_bits(self) -> int:
+        """Widest value the decoder computes with."""
+        return self.accumulator_width_bits
+
+    @property
+    def storage_bits(self) -> int:
+        """On-chip state: path memory, metrics, branch/predecessor tables."""
+        s = self.n_states
+        path_memory = s * self.traceback_depth
+        metrics = s * self.accumulator_width_bits
+        low_tables = s * 2 * self.n_symbols * self.low_resolution_bits
+        pred_tables = s * 2 * (self.constraint_length - 1)
+        high_tables = 0
+        if self.is_multiresolution:
+            high_tables = s * 2 * self.n_symbols * self.high_resolution_bits
+        return path_memory + metrics + low_tables + pred_tables + high_tables
+
+
+def viterbi_program(params: ViterbiInstanceParams) -> LeveledProgram:
+    """Build the leveled one-bit decoding loop for the machine model."""
+    s = params.n_states
+    n = params.n_symbols
+    depth = params.traceback_depth
+    program = LeveledProgram(
+        name=f"viterbi_K{params.constraint_length}",
+        storage_bits=params.storage_bits,
+        datapath_width=params.datapath_width_bits,
+        # Accumulated metrics live in registers, plus loop temporaries
+        # and the recomputation working set.
+        live_words=s
+        + 8
+        + (params.multires_paths if params.is_multiresolution else 0),
+    )
+    program.add_level("fetch-symbols", load=n)
+    quant_ops = n * params.low_resolution_bits
+    if params.is_multiresolution:
+        quant_ops += n * params.high_resolution_bits
+    program.add_level("quantize", alu=quant_ops)
+    # |level - ideal| per (state, branch, symbol): subtract + abs.
+    program.add_level("branch-metrics", alu=s * 2 * n)
+    if n > 1:
+        program.add_level("metric-reduce", alu=s * 2 * (n - 1))
+    # Add-compare-select: two adds, one compare, one select per state.
+    program.add_level("acs-add", alu=s * 2)
+    program.add_level("acs-compare-select", alu=s * 2)
+    if params.is_multiresolution:
+        m = params.multires_paths
+        # Partial selection of the M best accumulated metrics.
+        program.add_level("select-paths", alu=s + m * _ceil_log2(s))
+        # High-resolution branch metrics for 2 branches into each of the
+        # M states: subtract+abs per symbol, then the reduce and ACS.
+        program.add_level("recompute-high", alu=m * 2 * n * 2)
+        program.add_level("normalize", alu=params.normalization_count + 2)
+        program.add_level("acs-high", alu=m * 3)
+    # Survivor decisions written to path memory, packed 16 per word.
+    program.add_level("path-store", store=max(1, s // 16))
+    # Block trace-back: a walk of 1.5 L steps emits L/2 bits, so the
+    # amortized cost per decoded bit is three fetches and three index
+    # updates regardless of depth (depth still costs path memory).
+    program.add_level("trace-back", load=3, alu=3)
+    program.add_level("emit", store=1, alu=2, branch=1)
+    return program

@@ -1,0 +1,148 @@
+"""Jacobi elliptic function machinery for elliptic filter design.
+
+Implemented from scratch (no scipy in the library): complete elliptic
+integrals via the arithmetic-geometric mean, the Jacobi ``cd``/``sn``
+functions and their inverses via descending Landen transformations, the
+elliptic nome via theta functions, and the degree equation solver that
+elliptic (Cauer) filter design needs.  The formulation follows the
+classic filter-design treatment (Orfanidis' lecture notes on elliptic
+filter design), with arguments normalized to the quarter period: all
+``u`` parameters below are in units of ``K(k)``.
+"""
+
+from __future__ import annotations
+
+import cmath
+import math
+from typing import List, Union
+
+from repro.errors import FilterDesignError
+
+Complex = Union[float, complex]
+
+#: Landen iterations; moduli shrink quartically so 8 reaches 1e-15 from
+#: any k < 1 - 1e-12.
+_LANDEN_ITERATIONS = 8
+
+
+def _validate_modulus(k: float) -> None:
+    if not 0.0 <= k < 1.0:
+        raise FilterDesignError(f"elliptic modulus must be in [0, 1): {k}")
+
+
+def landen_sequence(k: float, iterations: int = _LANDEN_ITERATIONS) -> List[float]:
+    """Descending Landen sequence k -> k1 -> ... (rapidly to zero)."""
+    _validate_modulus(k)
+    sequence = []
+    current = k
+    for _ in range(iterations):
+        kp = math.sqrt(max(0.0, 1.0 - current * current))
+        current = (current / (1.0 + kp)) ** 2
+        sequence.append(current)
+    return sequence
+
+
+def ellipk(k: float) -> float:
+    """Complete elliptic integral of the first kind, K(k).
+
+    Computed via the arithmetic-geometric mean: K = pi / (2 AGM(1, k')).
+    """
+    _validate_modulus(k)
+    a, b = 1.0, math.sqrt(max(0.0, 1.0 - k * k))
+    for _ in range(64):
+        if abs(a - b) < 1e-16 * a:
+            break
+        a, b = (a + b) / 2.0, math.sqrt(a * b)
+    return math.pi / (2.0 * a)
+
+
+def ellipk_complement(k: float) -> float:
+    """K'(k) = K(sqrt(1 - k^2))."""
+    _validate_modulus(k)
+    return ellipk(math.sqrt(max(0.0, 1.0 - k * k)))
+
+
+def cde(u: Complex, k: float) -> complex:
+    """Jacobi cd(u K(k), k) with ``u`` in quarter-period units.
+
+    Descends the Landen sequence to a near-zero modulus, starts from
+    ``cos(u pi / 2)`` and ascends with the Gauss transformation
+    ``w <- (1 + v) w / (1 + v w^2)``.
+    """
+    sequence = landen_sequence(k)
+    w: complex = cmath.cos(complex(u) * math.pi / 2.0)
+    for v in reversed(sequence):
+        w = (1.0 + v) * w / (1.0 + v * w * w)
+    return w
+
+
+def sne(u: Complex, k: float) -> complex:
+    """Jacobi sn(u K(k), k); uses sn(u K) = cd((1 - u) K)."""
+    sequence = landen_sequence(k)
+    w: complex = cmath.sin(complex(u) * math.pi / 2.0)
+    for v in reversed(sequence):
+        w = (1.0 + v) * w / (1.0 + v * w * w)
+    return w
+
+
+def acde(w: Complex, k: float) -> complex:
+    """Inverse of :func:`cde`: u (quarter-period units) with cd(uK)=w."""
+    sequence = landen_sequence(k)
+    moduli = [k] + sequence[:-1]
+    value: complex = complex(w)
+    for k_prev, v in zip(moduli, sequence):
+        value = 2.0 * value / (
+            (1.0 + v) * (1.0 + cmath.sqrt(1.0 - (k_prev * value) ** 2))
+        )
+    u = 2.0 * cmath.acos(value) / math.pi
+    return u
+
+
+def asne(w: Complex, k: float) -> complex:
+    """Inverse of :func:`sne`: sn(uK) = w -> u = 1 - acde(w)."""
+    return 1.0 - acde(w, k)
+
+
+def nome(k: float) -> float:
+    """Elliptic nome q(k) = exp(-pi K'(k) / K(k))."""
+    _validate_modulus(k)
+    if k == 0.0:
+        return 0.0
+    return math.exp(-math.pi * ellipk_complement(k) / ellipk(k))
+
+
+def modulus_from_nome(q: float) -> float:
+    """Invert the nome via theta functions: k = (theta2 / theta3)^2."""
+    if not 0.0 <= q < 1.0:
+        raise FilterDesignError(f"nome must be in [0, 1): {q}")
+    if q == 0.0:
+        return 0.0
+    theta2 = 0.0
+    theta3 = 1.0
+    for m in range(0, 32):
+        term2 = q ** (m * (m + 1))
+        theta2 += term2
+        if m >= 1:
+            theta3 += 2.0 * q ** (m * m)
+        if term2 < 1e-18:
+            break
+    theta2 *= 2.0 * q**0.25
+    return (theta2 / theta3) ** 2
+
+
+def ellipdeg(n: int, k1: float) -> float:
+    """Solve the degree equation for the modulus k.
+
+    Given the filter order ``n`` and the ripple modulus ``k1``, return
+    the selectivity modulus ``k`` satisfying::
+
+        n = K(k) K'(k1) / (K'(k) K(k1))
+
+    via the nome relation ``q(k) = q(k1)**(1/n)``.
+    """
+    if n < 1:
+        raise FilterDesignError("order must be at least 1")
+    _validate_modulus(k1)
+    if k1 == 0.0:
+        return 0.0
+    return modulus_from_nome(nome(k1) ** (1.0 / n))

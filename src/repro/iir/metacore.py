@@ -1,0 +1,265 @@
+"""The IIR MetaCore — the paper's validation example (Sec. 4.5, 5.3).
+
+Design space: realization structure, filter family (which sets the
+order / number of stages for the spec), coefficient word length, and
+the ripple allocation — how much of the specified ripple budget the
+nominal design consumes, leaving the rest as quantization margin.
+
+The cost-evaluation engine designs the filter, realizes it in the
+chosen structure, quantizes the coefficients, measures the quantized
+response against the full specification (SPW's role in the paper), and
+prices the implementation with the HYPER-style synthesis estimator.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+from repro.core.objectives import Constraint, DesignGoal, Objective
+from repro.core.parameters import (
+    ContinuousParameter,
+    Correlation,
+    DesignSpace,
+    DiscreteParameter,
+    Point,
+)
+from repro.core.search import MetacoreSearch, SearchConfig, SearchResult
+from repro.errors import ConfigurationError, FilterDesignError, SynthesisError
+from repro.hardware.synthesis import SynthesisEstimate, estimate_iir_implementation
+from repro.iir.design import (
+    BandpassSpec,
+    FilterSpec,
+    LowpassSpec,
+    design_filter,
+    paper_bandpass_spec,
+)
+from repro.iir.fixedpoint import check_quantized
+from repro.iir.structures.base import Realization, available_structures, realize
+
+#: Frequency-grid density per evaluation fidelity (the paper's "longer
+#: run times" on finer search grids).
+FIDELITY_GRID_POINTS: Tuple[int, ...] = (128, 256, 512)
+
+#: Word lengths the design space exposes.
+WORD_LENGTHS: Tuple[int, ...] = tuple(range(6, 25))
+
+FAMILIES: Tuple[str, ...] = (
+    "elliptic",
+    "chebyshev1",
+    "chebyshev2",
+    "butterworth",
+)
+
+
+def iir_design_space(fixed: Optional[Dict[str, object]] = None) -> DesignSpace:
+    """Structure x family x word length x ripple allocation."""
+    fixed = dict(fixed or {})
+    definitions = [
+        DiscreteParameter(
+            "structure",
+            tuple(available_structures()),
+            Correlation.NONE,
+            "realization topology",
+        ),
+        DiscreteParameter(
+            "family",
+            FAMILIES,
+            Correlation.NONE,
+            "approximation family (sets order/stages)",
+        ),
+        DiscreteParameter(
+            "word_length",
+            WORD_LENGTHS,
+            Correlation.MONOTONIC,
+            "coefficient word length (bits)",
+        ),
+    ]
+    parameters = []
+    for definition in definitions:
+        if definition.name in fixed:
+            value = fixed.pop(definition.name)
+            definition.index_of(value)
+            definition = DiscreteParameter(
+                definition.name,
+                (value,),
+                definition.correlation,
+                definition.description,
+            )
+        parameters.append(definition)
+    if "ripple_allocation" in fixed:
+        value = float(fixed.pop("ripple_allocation"))
+        parameters.append(
+            ContinuousParameter(
+                "ripple_allocation", value, value, Correlation.QUADRATIC
+            )
+        )
+    else:
+        parameters.append(
+            ContinuousParameter(
+                "ripple_allocation",
+                0.3,
+                0.9,
+                Correlation.QUADRATIC,
+                "fraction of the ripple budget spent by the nominal design",
+            )
+        )
+    if fixed:
+        raise ConfigurationError(f"unknown fixed parameters: {sorted(fixed)}")
+    return DesignSpace(parameters)
+
+
+@dataclass
+class IIRSpec:
+    """A user specification: filter spec plus sample period."""
+
+    filter_spec: FilterSpec
+    sample_period_us: float
+    feature_um: float = 1.2
+
+    def __post_init__(self) -> None:
+        if self.sample_period_us <= 0:
+            raise ConfigurationError("sample period must be positive")
+
+    @classmethod
+    def paper(cls, sample_period_us: float) -> "IIRSpec":
+        """The Sec. 5.3 band-pass spec at a Table-4 sample period."""
+        return cls(
+            filter_spec=paper_bandpass_spec(),
+            sample_period_us=sample_period_us,
+        )
+
+    def goal(self) -> DesignGoal:
+        """Minimize area subject to meeting the frequency-domain spec."""
+        return DesignGoal(
+            objectives=[Objective("area_mm2")],
+            constraints=[Constraint("spec_violation", upper=0.0)],
+        )
+
+
+def _margin_spec(spec: FilterSpec, allocation: float) -> FilterSpec:
+    """The tighter spec the nominal design targets.
+
+    Designing to ``allocation * ripple`` leaves ``1 - allocation`` of
+    the budget for coefficient quantization.
+    """
+    if not 0.05 <= allocation <= 1.0:
+        raise ConfigurationError("ripple allocation out of (0.05, 1]")
+    if isinstance(spec, LowpassSpec):
+        return LowpassSpec(
+            spec.passband_edge,
+            spec.stopband_edge,
+            allocation * spec.passband_ripple,
+            allocation * spec.stopband_ripple,
+        )
+    if isinstance(spec, BandpassSpec):
+        return BandpassSpec(
+            spec.passband_low,
+            spec.passband_high,
+            spec.stopband_low,
+            spec.stopband_high,
+            allocation * spec.passband_ripple,
+            allocation * spec.stopband_ripple,
+        )
+    raise ConfigurationError(f"unsupported spec type {type(spec).__name__}")
+
+
+class IIRMetacoreEvaluator:
+    """Cost-evaluation engine for the IIR MetaCore."""
+
+    def __init__(self, spec: IIRSpec) -> None:
+        self.spec = spec
+        self.max_fidelity = len(FIDELITY_GRID_POINTS) - 1
+        self._realizations: Dict[Tuple[str, str, float], Realization] = {}
+
+    # ------------------------------------------------------------------
+
+    def _realization(
+        self, structure: str, family: str, allocation: float
+    ) -> Realization:
+        """Design + realize, cached (designs are deterministic)."""
+        key = (structure, family, round(allocation, 4))
+        if key not in self._realizations:
+            margin = _margin_spec(self.spec.filter_spec, allocation)
+            tf = design_filter(margin, family).to_tf()
+            self._realizations[key] = realize(structure, tf)
+        return self._realizations[key]
+
+    def evaluate(self, point: Point, fidelity: int) -> Dict[str, float]:
+        """Design, realize, quantize, measure, and synthesize one candidate."""
+        if not 0 <= fidelity <= self.max_fidelity:
+            raise ConfigurationError(f"fidelity {fidelity} out of range")
+        grid_points = FIDELITY_GRID_POINTS[fidelity]
+        structure = str(point["structure"])
+        family = str(point["family"])
+        word_length = int(point["word_length"])
+        allocation = float(point["ripple_allocation"])
+        dead = {
+            "area_mm2": math.inf,
+            "spec_violation": math.inf,
+            "throughput_samples_per_s": 0.0,
+        }
+        try:
+            realization = self._realization(structure, family, allocation)
+        except FilterDesignError:
+            return dead
+        report = check_quantized(
+            realization, self.spec.filter_spec, word_length, grid_points
+        )
+        violation = report.violation(self.spec.filter_spec)
+        try:
+            estimate: SynthesisEstimate = estimate_iir_implementation(
+                realization.dataflow(),
+                word_length,
+                self.spec.sample_period_us,
+                feature_um=self.spec.feature_um,
+            )
+        except SynthesisError:
+            return dead
+        return {
+            "area_mm2": estimate.area_mm2,
+            "spec_violation": violation,
+            "passband_ripple": report.passband_ripple,
+            "stopband_level": report.stopband_level,
+            "n_multipliers": float(estimate.n_multipliers),
+            "n_adders": float(estimate.n_adders),
+            "n_registers": float(estimate.n_registers),
+            "clock_ns": estimate.clock_ns,
+            "throughput_samples_per_s": estimate.throughput_samples_per_s,
+            "latency_us": estimate.latency_us,
+        }
+
+
+@dataclass
+class IIRMetaCore:
+    """Facade: specification in, optimized realization out."""
+
+    spec: IIRSpec
+    fixed: Dict[str, object] = field(default_factory=dict)
+    config: Optional[SearchConfig] = None
+
+    def design_space(self) -> DesignSpace:
+        """Structure x family x word length x ripple allocation."""
+        return iir_design_space(self.fixed)
+
+    def search(self) -> SearchResult:
+        """Run the multiresolution search for this specification."""
+        evaluator = IIRMetacoreEvaluator(self.spec)
+        searcher = MetacoreSearch(
+            self.design_space(),
+            self.spec.goal(),
+            evaluator,
+            config=self.config,
+        )
+        return searcher.run()
+
+    def build(self, point: Point) -> Realization:
+        """The quantized realization a design point describes."""
+        evaluator = IIRMetacoreEvaluator(self.spec)
+        realization = evaluator._realization(
+            str(point["structure"]),
+            str(point["family"]),
+            float(point["ripple_allocation"]),
+        )
+        return realization.quantized(int(point["word_length"]))

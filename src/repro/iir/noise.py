@@ -1,0 +1,180 @@
+"""Round-off noise analysis of filter realizations.
+
+Coefficient quantization (handled in :mod:`repro.iir.fixedpoint`) is
+only half of the finite-word-length story: every multiplier output must
+also be rounded back to the data word length at run time, injecting
+white noise of variance ``q^2 / 12`` (q = one LSB) at that node.  The
+total output noise depends on the *structure*: each injection point is
+shaped by the transfer function from that node to the output.
+
+This module computes the classic *noise gain* — the sum over rounding
+points of the squared L2 norm of the node-to-output transfer function —
+for each realization, using the structures' own topologies.  Together
+with the coefficient-sensitivity results it completes the paper's
+Sec. 3.4 hardware-requirements picture ("word length" covers both
+effects).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.errors import FilterDesignError
+from repro.iir.structures.base import Realization
+from repro.iir.structures.cascade import Cascade
+from repro.iir.structures.direct import _DirectFormBase
+from repro.iir.structures.lattice import LatticeLadder
+from repro.iir.structures.parallel import Parallel
+from repro.iir.structures.statespace import StateSpace
+from repro.iir.transfer import TransferFunction
+
+#: Impulse-response length used to evaluate L2 norms numerically; long
+#: enough for the narrow-band filters in this repo (poles to r ~ 0.999).
+_L2_LENGTH = 8192
+
+
+def l2_norm_squared(tf: TransferFunction, length: int = _L2_LENGTH) -> float:
+    """Squared L2 norm of a transfer function (sum of h[n]^2)."""
+    if not tf.is_stable():
+        raise FilterDesignError("L2 norm of an unstable transfer function")
+    impulse = tf.impulse_response(length)
+    return float(np.dot(impulse, impulse))
+
+
+@dataclass(frozen=True)
+class NoiseReport:
+    """Round-off noise characteristics of one realization."""
+
+    structure: str
+    #: Sum over rounding nodes of ||H_node->out||_2^2.
+    noise_gain: float
+    #: Number of run-time rounding points (multiplier outputs merged
+    #: per accumulation node).
+    n_injection_points: int
+
+    def output_noise_variance(self, data_word_length: int) -> float:
+        """Output noise variance for a given data word length.
+
+        Assumes rounding to ``data_word_length`` bits over a unit
+        signal range: one LSB is ``2**-(W-1)`` and each injection
+        contributes ``q^2 / 12`` of white noise.
+        """
+        lsb = 2.0 ** (-(data_word_length - 1))
+        return self.noise_gain * lsb * lsb / 12.0
+
+    def output_noise_db(self, data_word_length: int) -> float:
+        """Output noise power in dB relative to full scale."""
+        variance = self.output_noise_variance(data_word_length)
+        return 10.0 * math.log10(max(variance, 1e-300))
+
+
+def _noise_gain_direct(realization: _DirectFormBase) -> Tuple[float, int]:
+    # All products accumulate at one node whose noise passes through
+    # 1/A(z) (direct form II; form I differs only by delay placement).
+    shaping = TransferFunction([1.0], realization.a)
+    n_products = realization.b.size + (realization.a.size - 1)
+    return n_products * l2_norm_squared(shaping), 1
+
+
+def _noise_gain_cascade(realization: Cascade) -> Tuple[float, int]:
+    # Section i's accumulation noise passes through 1/A_i and every
+    # *later* section.
+    total = 0.0
+    sections = realization.sections
+    for index, (_, a) in enumerate(sections):
+        shaping = TransferFunction([1.0], a)
+        for b_next, a_next in sections[index + 1 :]:
+            shaping = shaping * TransferFunction(b_next, a_next)
+        b_here, a_here = sections[index]
+        n_products = b_here.size + (a_here.size - 1)
+        total += n_products * l2_norm_squared(shaping)
+    return total, len(sections)
+
+
+def _noise_gain_parallel(realization: Parallel) -> Tuple[float, int]:
+    # Each section's noise passes through 1/D_i only; the feed-through
+    # product injects directly at the output.
+    total = 1.0  # the constant multiplier's own rounding
+    for num, den in realization.sections:
+        shaping = TransferFunction([1.0], den)
+        n_products = num.size + (den.size - 1)
+        total += n_products * l2_norm_squared(shaping)
+    return total, len(realization.sections) + 1
+
+
+def _noise_gain_lattice(realization: LatticeLadder) -> Tuple[float, int]:
+    # Conservative model: each stage's two products inject where the
+    # full denominator shaping applies; ladder taps inject at the
+    # output.  (Exact per-node norms require the internal transfer
+    # functions; the all-pass structure makes this bound tight in
+    # practice.)
+    tf = realization.to_tf()
+    shaping = l2_norm_squared(TransferFunction([1.0], tf.a))
+    n_stage_products = 2 * realization.ks.size
+    n_taps = realization.vs.size
+    return n_stage_products * shaping + n_taps, realization.ks.size + 1
+
+
+def _noise_gain_statespace(realization: StateSpace) -> Tuple[float, int]:
+    # State-update products inject into the states: the shaping from
+    # state i to the output is C (zI - A)^{-1} e_i; output products
+    # inject directly.
+    order = realization.a.shape[0]
+    if order == 0:
+        return 1.0, 1
+    total = 1.0 + order  # D product + C row products at the output
+    den = np.poly(realization.a)
+    for i in range(order):
+        basis = np.zeros((order, 1))
+        basis[i, 0] = 1.0
+        # num(z) for C (zI-A)^{-1} e_i via the determinant identity.
+        num = np.poly(realization.a - basis @ realization.c) - den
+        shaping = TransferFunction(num, den)
+        per_state_products = order + 1  # row of A plus B entry
+        total += per_state_products * l2_norm_squared(shaping)
+    return total, order + 1
+
+
+def noise_report(realization: Realization) -> NoiseReport:
+    """Round-off noise gain of a realization.
+
+    Raises :class:`FilterDesignError` for structures without a noise
+    model (the continued fraction, whose internal nodes this library
+    does not expose).
+    """
+    if isinstance(realization, Cascade):
+        gain, points = _noise_gain_cascade(realization)
+    elif isinstance(realization, Parallel):
+        gain, points = _noise_gain_parallel(realization)
+    elif isinstance(realization, LatticeLadder):
+        gain, points = _noise_gain_lattice(realization)
+    elif isinstance(realization, StateSpace):
+        gain, points = _noise_gain_statespace(realization)
+    elif isinstance(realization, _DirectFormBase):
+        gain, points = _noise_gain_direct(realization)
+    else:
+        raise FilterDesignError(
+            f"no round-off noise model for structure "
+            f"{realization.name!r}"
+        )
+    return NoiseReport(
+        structure=realization.name,
+        noise_gain=gain,
+        n_injection_points=points,
+    )
+
+
+def compare_structures(
+    tf: TransferFunction, names: List[str]
+) -> List[NoiseReport]:
+    """Noise reports for several realizations of the same filter."""
+    from repro.iir.structures import realize
+
+    reports = []
+    for name in names:
+        reports.append(noise_report(realize(name, tf)))
+    return sorted(reports, key=lambda r: r.noise_gain)

@@ -1,0 +1,63 @@
+"""Realization structures for IIR filters (paper Sec. 3.4).
+
+Importing this package registers every structure: direct form I/II,
+cascade, parallel, lattice-ladder, continued fraction, and (balanced)
+state space.  The wave-digital, orthogonal, and multivariable-lattice
+structures the paper's survey also names are not implemented; they do
+not appear among the Table 4 winners (see DESIGN.md).
+"""
+
+from repro.iir.structures.base import (
+    STRUCTURE_REGISTRY,
+    DataflowStats,
+    Realization,
+    available_structures,
+    realize,
+    register_structure,
+)
+from repro.iir.structures.direct import DirectFormI, DirectFormII
+from repro.iir.structures.cascade import Cascade, group_conjugate_roots
+from repro.iir.structures.parallel import Parallel, partial_fractions
+from repro.iir.structures.lattice import (
+    LatticeLadder,
+    ladder_coefficients,
+    predictor_polynomials,
+    reflection_coefficients,
+)
+from repro.iir.structures.continued import (
+    ContinuedFraction,
+    continued_fraction_expand,
+    continued_fraction_fold,
+)
+from repro.iir.structures.statespace import (
+    StateSpace,
+    balance,
+    controllable_canonical,
+    gramian,
+)
+
+__all__ = [
+    "STRUCTURE_REGISTRY",
+    "DataflowStats",
+    "Realization",
+    "available_structures",
+    "realize",
+    "register_structure",
+    "DirectFormI",
+    "DirectFormII",
+    "Cascade",
+    "group_conjugate_roots",
+    "Parallel",
+    "partial_fractions",
+    "LatticeLadder",
+    "ladder_coefficients",
+    "predictor_polynomials",
+    "reflection_coefficients",
+    "ContinuedFraction",
+    "continued_fraction_expand",
+    "continued_fraction_fold",
+    "StateSpace",
+    "balance",
+    "controllable_canonical",
+    "gramian",
+]

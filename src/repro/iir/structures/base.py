@@ -1,0 +1,140 @@
+"""Realization-structure protocol.
+
+The paper's IIR design space is spanned first of all by the
+*topological structure* (Sec. 3.4): realizations of the same transfer
+function that "greatly differ in terms of hardware requirements, such
+as number of multiplications, number of additions, word length,
+interconnect, and registers".  Every structure here knows its
+
+- coefficient set (what gets quantized to a finite word length),
+- time-domain simulation through its own topology,
+- reconstruction of the transfer function *from its (possibly
+  quantized) coefficients* — the mechanism by which per-structure
+  coefficient sensitivity emerges,
+- dataflow statistics (operation counts, registers, and the longest
+  feedback cycle, which bounds achievable throughput) for the
+  HYPER-style synthesis estimator.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+from typing import Dict, List, Type
+
+import numpy as np
+
+from repro.errors import FilterDesignError
+from repro.hardware.synthesis import DataflowStats
+from repro.iir.transfer import TransferFunction
+from repro.utils.fixed import (
+    needed_integer_bits,
+    quantize_array,
+    quantize_mantissa,
+)
+
+
+class Realization(ABC):
+    """A filter structure holding its own coefficient arrays."""
+
+    #: Registry name, e.g. "cascade"; set by subclasses.
+    name: str = "abstract"
+
+    #: Structures whose implementations conventionally scale each
+    #: coefficient by its own power of two (a barrel shift after the
+    #: multiply) set this; quantization then preserves *relative*
+    #: precision per coefficient instead of per array.
+    per_coefficient_scaling: bool = False
+
+    # -- construction ----------------------------------------------------
+
+    @classmethod
+    @abstractmethod
+    def from_tf(cls, tf: TransferFunction) -> "Realization":
+        """Realize a transfer function in this topology."""
+
+    # -- coefficients ------------------------------------------------------
+
+    @abstractmethod
+    def coefficients(self) -> Dict[str, np.ndarray]:
+        """Named coefficient arrays (the quantization targets)."""
+
+    @abstractmethod
+    def with_coefficients(self, coeffs: Dict[str, np.ndarray]) -> "Realization":
+        """A copy of this realization with replaced coefficients."""
+
+    def quantized(self, word_length: int) -> "Realization":
+        """Coefficients rounded to ``word_length``-bit fixed point.
+
+        Each coefficient array gets the fractional precision left after
+        reserving the integer bits its own magnitudes need — so a
+        structure with small, well-conditioned coefficients (e.g.
+        lattice reflection coefficients, all < 1) retains more
+        fractional bits at the same word length than one with large
+        coefficients (e.g. a continued-fraction expansion).
+        """
+        quantized: Dict[str, np.ndarray] = {}
+        for key, values in self.coefficients().items():
+            if self.per_coefficient_scaling:
+                quantized[key] = quantize_mantissa(values, word_length)
+                continue
+            integer_bits = needed_integer_bits(values)
+            frac_bits = word_length - 1 - integer_bits
+            if frac_bits < 0:
+                raise FilterDesignError(
+                    f"{self.name}: coefficients of {key} need more than "
+                    f"{word_length} bits for their integer part alone"
+                )
+            quantized[key] = quantize_array(values, word_length, frac_bits)
+        return self.with_coefficients(quantized)
+
+    # -- behaviour ---------------------------------------------------------
+
+    @abstractmethod
+    def to_tf(self) -> TransferFunction:
+        """Transfer function implied by the current coefficients."""
+
+    @abstractmethod
+    def simulate(self, x: np.ndarray) -> np.ndarray:
+        """Filter a signal through this topology sample by sample."""
+
+    @abstractmethod
+    def dataflow(self) -> DataflowStats:
+        """Operation/register counts for the synthesis estimator."""
+
+    # -- misc ---------------------------------------------------------------
+
+    def __repr__(self) -> str:
+        stats = self.dataflow()
+        return (
+            f"{type(self).__name__}(mults={stats.multiplies}, "
+            f"adds={stats.additions}, delays={stats.delays})"
+        )
+
+
+#: Registry mapping structure names to classes; populated on import by
+#: each structure module.
+STRUCTURE_REGISTRY: Dict[str, Type[Realization]] = {}
+
+
+def register_structure(cls: Type[Realization]) -> Type[Realization]:
+    """Class decorator adding a realization to the registry."""
+    if cls.name in STRUCTURE_REGISTRY:
+        raise FilterDesignError(f"duplicate structure name {cls.name!r}")
+    STRUCTURE_REGISTRY[cls.name] = cls
+    return cls
+
+
+def available_structures() -> List[str]:
+    return sorted(STRUCTURE_REGISTRY)
+
+
+def realize(name: str, tf: TransferFunction) -> Realization:
+    """Realize ``tf`` in the named structure."""
+    try:
+        cls = STRUCTURE_REGISTRY[name]
+    except KeyError as exc:
+        raise FilterDesignError(
+            f"unknown structure {name!r}; available: {available_structures()}"
+        ) from exc
+    return cls.from_tf(tf)

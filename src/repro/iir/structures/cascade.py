@@ -1,0 +1,161 @@
+"""Cascade (second-order-section) realization.
+
+Poles are grouped into conjugate pairs, ordered by radius (the pair
+closest to the unit circle first), and each pair is matched with its
+nearest zero pair — the classic pairing rule that minimizes section
+peak gain.  The overall gain is distributed evenly across sections.
+
+Cascades combine low coefficient sensitivity (each biquad's
+coefficients only control two poles) with a short feedback loop (one
+multiply and two additions per biquad, sections pipelinable in
+between) — which is why they dominate the high-throughput end of the
+paper's Table 4.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.errors import FilterDesignError
+from repro.iir.structures.base import (
+    DataflowStats,
+    Realization,
+    register_structure,
+)
+from repro.iir.transfer import TransferFunction
+
+
+def group_conjugate_roots(roots: np.ndarray) -> List[np.ndarray]:
+    """Split roots into conjugate pairs and single real roots."""
+    remaining = list(roots)
+    groups: List[np.ndarray] = []
+    reals: List[complex] = []
+    while remaining:
+        root = remaining.pop(0)
+        if abs(root.imag) < 1e-9:
+            reals.append(root)
+            continue
+        match_idx = None
+        for i, other in enumerate(remaining):
+            if abs(other - np.conj(root)) < 1e-6 * max(1.0, abs(root)):
+                match_idx = i
+                break
+        if match_idx is None:
+            raise FilterDesignError("complex root without a conjugate twin")
+        remaining.pop(match_idx)
+        groups.append(np.array([root, np.conj(root)]))
+    # Pair up real roots two at a time; a leftover becomes first order.
+    reals.sort(key=lambda r: abs(r), reverse=True)
+    while len(reals) >= 2:
+        groups.append(np.array([reals.pop(0), reals.pop(0)]))
+    if reals:
+        groups.append(np.array([reals.pop(0)]))
+    return groups
+
+
+def _pair_sections(
+    pole_groups: List[np.ndarray], zero_groups: List[np.ndarray]
+) -> List[Tuple[np.ndarray, np.ndarray]]:
+    """Match each pole group with its nearest unused zero group."""
+    pole_groups = sorted(
+        pole_groups, key=lambda g: float(np.max(np.abs(g))), reverse=True
+    )
+    unused = list(zero_groups)
+    sections = []
+    for poles in pole_groups:
+        if unused:
+            distances = [
+                float(np.min(np.abs(poles[0] - zeros))) for zeros in unused
+            ]
+            zeros = unused.pop(int(np.argmin(distances)))
+        else:
+            zeros = np.array([])
+        sections.append((poles, zeros))
+    if unused:
+        raise FilterDesignError("more zeros than poles; not a proper filter")
+    return sections
+
+
+@register_structure
+class Cascade(Realization):
+    """A chain of first/second-order direct-form-II sections."""
+
+    name = "cascade"
+
+    def __init__(self, sections: List[Tuple[np.ndarray, np.ndarray]]) -> None:
+        #: list of (b, a) coefficient arrays, each of length <= 3, a[0]=1.
+        self.sections = [
+            (np.asarray(b, dtype=float), np.asarray(a, dtype=float))
+            for b, a in sections
+        ]
+
+    @classmethod
+    def from_tf(cls, tf: TransferFunction) -> "Cascade":
+        zpk = tf.to_zpk()
+        pole_groups = group_conjugate_roots(np.asarray(zpk.poles))
+        zero_groups = group_conjugate_roots(np.asarray(zpk.zeros))
+        paired = _pair_sections(pole_groups, zero_groups)
+        n_sections = max(len(paired), 1)
+        magnitude = abs(zpk.gain) ** (1.0 / n_sections)
+        sign = math.copysign(1.0, zpk.gain)
+        sections = []
+        for index, (poles, zeros) in enumerate(paired):
+            b = np.real(np.poly(zeros)) if zeros.size else np.array([1.0])
+            a = np.real(np.poly(poles))
+            scale = magnitude * (sign if index == 0 else 1.0)
+            sections.append((b * scale, a))
+        if not sections:
+            sections.append((np.array([zpk.gain]), np.array([1.0])))
+        return cls(sections)
+
+    # ------------------------------------------------------------------
+
+    def coefficients(self) -> Dict[str, np.ndarray]:
+        coeffs: Dict[str, np.ndarray] = {}
+        for i, (b, a) in enumerate(self.sections):
+            coeffs[f"b{i}"] = b
+            coeffs[f"a{i}"] = a[1:]
+        return coeffs
+
+    def with_coefficients(self, coeffs: Dict[str, np.ndarray]) -> "Cascade":
+        sections = []
+        for i in range(len(self.sections)):
+            b = coeffs[f"b{i}"]
+            a = np.concatenate([[1.0], coeffs[f"a{i}"]])
+            sections.append((b, a))
+        return Cascade(sections)
+
+    def to_tf(self) -> TransferFunction:
+        b_total = np.array([1.0])
+        a_total = np.array([1.0])
+        for b, a in self.sections:
+            b_total = np.convolve(b_total, b)
+            a_total = np.convolve(a_total, a)
+        return TransferFunction(b_total, a_total)
+
+    def simulate(self, x: np.ndarray) -> np.ndarray:
+        y = np.asarray(x, dtype=float)
+        for b, a in self.sections:
+            y = TransferFunction(b, a).filter(y)
+        return y
+
+    def dataflow(self) -> DataflowStats:
+        multiplies = 0
+        additions = 0
+        delays = 0
+        for b, a in self.sections:
+            order = max(b.size, a.size) - 1
+            multiplies += b.size + (a.size - 1)
+            additions += (b.size - 1) + (a.size - 1)
+            delays += order
+        return DataflowStats(
+            multiplies=multiplies,
+            additions=additions,
+            delays=delays,
+            loop_multiplies=1,
+            loop_additions=2,
+            chain_local=True,
+        )

@@ -1,0 +1,164 @@
+"""Continued-fraction realization.
+
+The transfer function is expanded as a continued fraction in
+``z^-1``::
+
+    H(z) = q_0 + 1 / (t_1/z^-1 + 1 / (t_2/z^-1 + ...))
+
+by alternately extracting the constant term and inverting the
+remainder.  The expansion coefficients can take wildly differing
+magnitudes — the continued-fraction form is the notoriously
+quantization-hostile member of the structure set, and filters for which
+the expansion is singular are simply not realizable this way (the
+evaluator treats that as an infeasible candidate, as the paper's tools
+would).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+import numpy as np
+
+from repro.errors import FilterDesignError
+from repro.iir.structures.base import (
+    DataflowStats,
+    Realization,
+    register_structure,
+)
+from repro.iir.transfer import TransferFunction
+
+#: Relative magnitude below which a leading coefficient counts as zero
+#: (the expansion is then singular).
+_SINGULAR_TOLERANCE = 1e-9
+
+#: Expansion coefficients beyond this magnitude make the structure
+#: unquantizable at any practical word length.
+_MAX_COEFFICIENT = 1e6
+
+
+def _trim(poly: np.ndarray) -> np.ndarray:
+    """Drop trailing (high-order in z^-1) near-zero coefficients."""
+    poly = np.asarray(poly, dtype=float)
+    scale = float(np.max(np.abs(poly), initial=0.0))
+    if scale == 0.0:
+        return np.zeros(0)
+    mask = np.abs(poly) > _SINGULAR_TOLERANCE * scale
+    if not mask.any():
+        return np.zeros(0)
+    return poly[: int(np.max(np.nonzero(mask))) + 1]
+
+
+def continued_fraction_expand(tf: TransferFunction) -> List[float]:
+    """Expansion coefficients [q0, q1, ...] of H about z^-1 = 0."""
+    num = tf.b.copy()
+    den = tf.a.copy()
+    coefficients: List[float] = []
+    for _ in range(2 * (tf.order + 1) + 1):
+        num = _trim(num)
+        den = _trim(den)
+        if den.size == 0:
+            raise FilterDesignError("continued fraction: zero denominator")
+        if abs(den[0]) < _SINGULAR_TOLERANCE * float(np.max(np.abs(den))):
+            raise FilterDesignError(
+                "continued fraction expansion singular for this filter"
+            )
+        if num.size == 0:
+            break
+        q = num[0] / den[0]
+        if abs(q) > _MAX_COEFFICIENT:
+            raise FilterDesignError(
+                "continued fraction coefficient magnitude exploded"
+            )
+        coefficients.append(float(q))
+        remainder = num.copy()
+        remainder.resize(max(num.size, den.size), refcheck=False)
+        remainder[: den.size] -= q * den
+        remainder = _trim(remainder)
+        if remainder.size == 0:
+            break
+        if abs(remainder[0]) > _SINGULAR_TOLERANCE * float(
+            np.max(np.abs(remainder))
+        ):
+            raise FilterDesignError(
+                "continued fraction remainder has a non-zero constant term"
+            )
+        num, den = den, remainder[1:]  # divide the remainder by z^-1
+    else:
+        raise FilterDesignError("continued fraction expansion did not end")
+    return coefficients
+
+
+def continued_fraction_fold(coefficients: List[float]) -> TransferFunction:
+    """Rebuild the transfer function from expansion coefficients."""
+    if not coefficients:
+        raise FilterDesignError("empty continued fraction")
+    num = np.array([coefficients[-1]])
+    den = np.array([1.0])
+    for q in reversed(coefficients[:-1]):
+        # H <- q + z^-1 / H  ==  (q*num + z^-1*den) / num
+        shifted_den = np.concatenate([[0.0], den])
+        new_num = q * num
+        size = max(new_num.size, shifted_den.size)
+        merged = np.zeros(size)
+        merged[: new_num.size] += new_num
+        merged[: shifted_den.size] += shifted_den
+        num, den = merged, num
+    return TransferFunction(num, den)
+
+
+@register_structure
+class ContinuedFraction(Realization):
+    """Continued-fraction-expansion realization."""
+
+    name = "continued"
+
+    def __init__(self, expansion: np.ndarray) -> None:
+        self.expansion = np.asarray(expansion, dtype=float)
+        if self.expansion.size == 0:
+            raise FilterDesignError("empty continued fraction")
+
+    @classmethod
+    def from_tf(cls, tf: TransferFunction) -> "ContinuedFraction":
+        expansion = continued_fraction_expand(tf)
+        rebuilt = continued_fraction_fold(expansion)
+        # Guard: the expansion must reproduce the filter to working
+        # precision, otherwise the candidate is numerically unusable.
+        omega = np.linspace(0.05, 3.0, 64)
+        err = np.max(
+            np.abs(rebuilt.response(omega) - tf.response(omega))
+        )
+        if not np.isfinite(err) or err > 1e-3:
+            raise FilterDesignError(
+                "continued fraction expansion numerically unstable "
+                f"(reconstruction error {err:.2g})"
+            )
+        return cls(np.array(expansion))
+
+    # ------------------------------------------------------------------
+
+    def coefficients(self) -> Dict[str, np.ndarray]:
+        return {"q": self.expansion}
+
+    def with_coefficients(self, coeffs: Dict[str, np.ndarray]) -> "ContinuedFraction":
+        return ContinuedFraction(coeffs["q"])
+
+    def to_tf(self) -> TransferFunction:
+        return continued_fraction_fold(list(self.expansion))
+
+    def simulate(self, x: np.ndarray) -> np.ndarray:
+        # The nested feedback topology is simulated through its exact
+        # reconstructed coefficients (which carry the quantization).
+        return self.to_tf().filter(np.asarray(x, dtype=float))
+
+    def dataflow(self) -> DataflowStats:
+        n = self.expansion.size
+        order = (n - 1 + 1) // 2 if n > 1 else 0
+        return DataflowStats(
+            multiplies=n,
+            additions=n - 1,
+            delays=max(order, n // 2),
+            # Fully serial nested loops.
+            loop_multiplies=max(1, n - 1),
+            loop_additions=max(1, n - 1),
+        )

@@ -1,0 +1,89 @@
+"""Direct-form realizations (forms I and II).
+
+Both implement the difference equation straight from the transfer
+function coefficients; they differ only in delay count.  Direct forms
+are the cheapest to derive but have the classic weakness the structure
+exploration exposes: for higher orders with clustered poles, the
+polynomial coefficients are exquisitely sensitive to quantization.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict
+
+import numpy as np
+
+from repro.iir.structures.base import (
+    DataflowStats,
+    Realization,
+    register_structure,
+)
+from repro.iir.transfer import TransferFunction
+
+
+class _DirectFormBase(Realization):
+    """Shared coefficient handling of the two direct forms."""
+
+    def __init__(self, b: np.ndarray, a: np.ndarray) -> None:
+        self.b = np.asarray(b, dtype=float)
+        self.a = np.asarray(a, dtype=float)
+
+    @classmethod
+    def from_tf(cls, tf: TransferFunction) -> "_DirectFormBase":
+        return cls(tf.b.copy(), tf.a.copy())
+
+    def coefficients(self) -> Dict[str, np.ndarray]:
+        # a[0] == 1 is structural (no multiplier), not a coefficient.
+        return {"b": self.b, "a": self.a[1:]}
+
+    def with_coefficients(self, coeffs: Dict[str, np.ndarray]) -> "_DirectFormBase":
+        return type(self)(coeffs["b"], np.concatenate([[1.0], coeffs["a"]]))
+
+    def to_tf(self) -> TransferFunction:
+        return TransferFunction(self.b, self.a)
+
+    def simulate(self, x: np.ndarray) -> np.ndarray:
+        return self.to_tf().filter(x)
+
+    def _orders(self) -> Dict[str, int]:
+        return {"num": self.b.size - 1, "den": self.a.size - 1}
+
+    def _loop_stats(self) -> Dict[str, int]:
+        den = self._orders()["den"]
+        return {
+            "loop_multiplies": 1 if den else 0,
+            "loop_additions": max(1, math.ceil(math.log2(den + 1))) if den else 0,
+        }
+
+
+@register_structure
+class DirectFormI(_DirectFormBase):
+    """Direct form I: separate numerator and denominator delay lines."""
+
+    name = "direct1"
+
+    def dataflow(self) -> DataflowStats:
+        orders = self._orders()
+        return DataflowStats(
+            multiplies=orders["num"] + 1 + orders["den"],
+            additions=orders["num"] + orders["den"],
+            delays=orders["num"] + orders["den"],
+            **self._loop_stats(),
+        )
+
+
+@register_structure
+class DirectFormII(_DirectFormBase):
+    """Direct form II: shared (canonic) delay line."""
+
+    name = "direct2"
+
+    def dataflow(self) -> DataflowStats:
+        orders = self._orders()
+        return DataflowStats(
+            multiplies=orders["num"] + 1 + orders["den"],
+            additions=orders["num"] + orders["den"],
+            delays=max(orders["num"], orders["den"]),
+            **self._loop_stats(),
+        )

@@ -1,0 +1,171 @@
+"""Parallel realization via partial-fraction expansion.
+
+The transfer function is split into a feed-through constant plus a sum
+of first/second-order sections, one per (conjugate pair of) pole(s).
+Sections run concurrently — plenty of instruction-level parallelism at
+moderate resource counts, which is where the parallel form wins in the
+paper's Table 4 — at the cost of residue coefficients whose dynamic
+range (and hence word-length demand) grows for narrow-band filters.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.errors import FilterDesignError
+from repro.iir.structures.base import (
+    DataflowStats,
+    Realization,
+    register_structure,
+)
+from repro.iir.transfer import TransferFunction
+
+#: Pole separation (relative) below which the expansion is rejected;
+#: repeated poles would need generalized residues.
+_MIN_POLE_SEPARATION = 1e-7
+
+
+def partial_fractions(
+    tf: TransferFunction,
+) -> Tuple[float, List[Tuple[np.ndarray, np.ndarray]]]:
+    """Expand ``H`` into ``c + sum_i  N_i(z^-1) / D_i(z^-1)``.
+
+    Returns the constant and a list of (numerator, denominator)
+    coefficient arrays (ascending in ``z^-1``, denominators monic).
+    """
+    b = tf.b.copy()
+    a = tf.a.copy()
+    deg_b, deg_a = b.size - 1, a.size - 1
+    if deg_b > deg_a:
+        raise FilterDesignError("improper transfer function")
+    constant = 0.0
+    if deg_b == deg_a:
+        # In x = z^-1, divide off the x^N term.
+        constant = b[-1] / a[-1]
+        b = b - constant * a
+        b = b[:-1]
+    poles_x = np.roots(a[::-1])  # roots in x = z^-1
+    if poles_x.size:
+        separation = np.min(
+            np.abs(poles_x[:, None] - poles_x[None, :])
+            + np.eye(poles_x.size) * 1e9
+        )
+        if separation < _MIN_POLE_SEPARATION * max(1.0, float(np.max(np.abs(poles_x)))):
+            raise FilterDesignError(
+                "parallel form needs distinct poles (repeated pole found)"
+            )
+    # Residues of b(x)/a(x) at each x_i: b(x_i) / a'(x_i).
+    a_desc = a[::-1]
+    da_desc = np.polyder(a_desc)
+    residues = np.polyval(b[::-1], poles_x) / np.polyval(da_desc, poles_x)
+    # Convert r/(x - x_i) into s/(1 - p z^-1) with p = 1/x_i, s = -r p.
+    poles_z = 1.0 / poles_x
+    strengths = -residues * poles_z
+    sections: List[Tuple[np.ndarray, np.ndarray]] = []
+    used = np.zeros(poles_z.size, dtype=bool)
+    for i, pole in enumerate(poles_z):
+        if used[i]:
+            continue
+        used[i] = True
+        if abs(pole.imag) < 1e-9:
+            sections.append(
+                (
+                    np.array([strengths[i].real]),
+                    np.array([1.0, -pole.real]),
+                )
+            )
+            continue
+        match = None
+        for j in range(i + 1, poles_z.size):
+            if not used[j] and abs(poles_z[j] - np.conj(pole)) < 1e-6 * max(
+                1.0, abs(pole)
+            ):
+                match = j
+                break
+        if match is None:
+            raise FilterDesignError("complex pole without a conjugate twin")
+        used[match] = True
+        s = strengths[i]
+        num = np.array([2.0 * s.real, -2.0 * (s * np.conj(pole)).real])
+        den = np.array([1.0, -2.0 * pole.real, abs(pole) ** 2])
+        sections.append((num, den))
+    return float(np.real(constant)), sections
+
+
+@register_structure
+class Parallel(Realization):
+    """Feed-through constant plus parallel first/second-order sections."""
+
+    name = "parallel"
+
+    def __init__(
+        self,
+        constant: float,
+        sections: List[Tuple[np.ndarray, np.ndarray]],
+    ) -> None:
+        self.constant = float(constant)
+        self.sections = [
+            (np.asarray(num, dtype=float), np.asarray(den, dtype=float))
+            for num, den in sections
+        ]
+
+    @classmethod
+    def from_tf(cls, tf: TransferFunction) -> "Parallel":
+        constant, sections = partial_fractions(tf)
+        return cls(constant, sections)
+
+    # ------------------------------------------------------------------
+
+    def coefficients(self) -> Dict[str, np.ndarray]:
+        coeffs: Dict[str, np.ndarray] = {"c": np.array([self.constant])}
+        for i, (num, den) in enumerate(self.sections):
+            coeffs[f"num{i}"] = num
+            coeffs[f"den{i}"] = den[1:]
+        return coeffs
+
+    def with_coefficients(self, coeffs: Dict[str, np.ndarray]) -> "Parallel":
+        sections = []
+        for i in range(len(self.sections)):
+            num = coeffs[f"num{i}"]
+            den = np.concatenate([[1.0], coeffs[f"den{i}"]])
+            sections.append((num, den))
+        return Parallel(float(coeffs["c"][0]), sections)
+
+    def to_tf(self) -> TransferFunction:
+        b_total = np.array([self.constant])
+        a_total = np.array([1.0])
+        for num, den in self.sections:
+            b_total = np.convolve(b_total, den)
+            pad = np.convolve(num, a_total)
+            size = max(b_total.size, pad.size)
+            b_new = np.zeros(size)
+            b_new[: b_total.size] += b_total
+            b_new[: pad.size] += pad
+            b_total = b_new
+            a_total = np.convolve(a_total, den)
+        return TransferFunction(b_total, a_total)
+
+    def simulate(self, x: np.ndarray) -> np.ndarray:
+        x = np.asarray(x, dtype=float)
+        y = self.constant * x
+        for num, den in self.sections:
+            y = y + TransferFunction(num, den).filter(x)
+        return y
+
+    def dataflow(self) -> DataflowStats:
+        multiplies = 1  # the feed-through constant
+        additions = len(self.sections)  # output combining
+        delays = 0
+        for num, den in self.sections:
+            multiplies += num.size + (den.size - 1)
+            additions += (num.size - 1) + (den.size - 1)
+            delays += den.size - 1
+        return DataflowStats(
+            multiplies=multiplies,
+            additions=additions,
+            delays=delays,
+            loop_multiplies=1,
+            loop_additions=2,
+        )

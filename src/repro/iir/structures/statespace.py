@@ -1,0 +1,172 @@
+"""State-space realizations (canonical and balanced).
+
+``x[n+1] = A x[n] + B u[n]``, ``y[n] = C x[n] + D u[n]``.  The
+controllable-canonical form shares direct-form sensitivity; the
+*balanced* form (equal, diagonal controllability/observability
+Gramians) has excellent quantization behaviour at the cost of a dense
+``A`` — order-squared multiplies, the structure exploration's extreme
+area/robustness trade-off point.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict
+
+import numpy as np
+
+from repro.errors import FilterDesignError
+from repro.iir.structures.base import (
+    DataflowStats,
+    Realization,
+    register_structure,
+)
+from repro.iir.transfer import TransferFunction
+
+
+def controllable_canonical(tf: TransferFunction):
+    """(A, B, C, D) in controllable canonical form."""
+    order = tf.a.size - 1
+    if order == 0:
+        return (
+            np.zeros((0, 0)),
+            np.zeros((0, 1)),
+            np.zeros((1, 0)),
+            float(tf.b[0]),
+        )
+    a = tf.a
+    b = np.zeros(order + 1)
+    b[: tf.b.size] = tf.b
+    matrix_a = np.zeros((order, order))
+    matrix_a[0, :] = -a[1:]
+    if order > 1:
+        matrix_a[1:, :-1] = np.eye(order - 1)
+    matrix_b = np.zeros((order, 1))
+    matrix_b[0, 0] = 1.0
+    d = b[0]
+    matrix_c = (b[1:] - d * a[1:]).reshape(1, order)
+    return matrix_a, matrix_b, matrix_c, float(d)
+
+
+def gramian(a: np.ndarray, b: np.ndarray, iterations: int = 64) -> np.ndarray:
+    """Discrete Lyapunov solution ``X = A X A^T + B B^T`` by doubling."""
+    x = b @ b.T
+    a_power = a.copy()
+    with np.errstate(over="ignore", invalid="ignore"):
+        for _ in range(iterations):
+            update = a_power @ x @ a_power.T
+            if not np.all(np.isfinite(update)):
+                # Repeated squaring of strongly non-normal matrices
+                # (high-order companions with near-unit poles) can
+                # overflow transiently; the candidate is unusable.
+                raise FilterDesignError(
+                    "gramian iteration diverged; system too ill-conditioned "
+                    "to balance"
+                )
+            if float(np.max(np.abs(update))) < 1e-15 * max(
+                1.0, float(np.max(np.abs(x)))
+            ):
+                break
+            x = x + update
+            a_power = a_power @ a_power
+    return x
+
+
+def balance(a: np.ndarray, b: np.ndarray, c: np.ndarray):
+    """Similarity transform to a balanced realization."""
+    if a.shape[0] == 0:
+        return a, b, c
+    spectral_radius = float(np.max(np.abs(np.linalg.eigvals(a))))
+    if spectral_radius >= 1.0:
+        raise FilterDesignError("cannot balance an unstable system")
+    wc = gramian(a, b)
+    wo = gramian(a.T, c.T)
+    # Square root of Wc via eigen decomposition (Wc is PSD symmetric).
+    vals, vecs = np.linalg.eigh((wc + wc.T) / 2.0)
+    vals = np.maximum(vals, 1e-300)
+    sqrt_wc = vecs @ np.diag(np.sqrt(vals)) @ vecs.T
+    middle = sqrt_wc @ wo @ sqrt_wc
+    svals, svecs = np.linalg.eigh((middle + middle.T) / 2.0)
+    order = np.argsort(svals)[::-1]
+    svals = np.maximum(svals[order], 1e-300)
+    svecs = svecs[:, order]
+    hankel = np.sqrt(np.sqrt(svals))
+    transform = sqrt_wc @ svecs @ np.diag(1.0 / hankel)
+    inverse = np.diag(hankel) @ svecs.T @ np.linalg.solve(
+        sqrt_wc, np.eye(a.shape[0])
+    )
+    return inverse @ a @ transform, inverse @ b, c @ transform
+
+
+@register_structure
+class StateSpace(Realization):
+    """Balanced state-space realization."""
+
+    name = "statespace"
+
+    #: Subclasses / factory flag: balance after canonical construction.
+    balanced = True
+
+    def __init__(
+        self, a: np.ndarray, b: np.ndarray, c: np.ndarray, d: float
+    ) -> None:
+        self.a = np.asarray(a, dtype=float)
+        self.b = np.asarray(b, dtype=float).reshape(self.a.shape[0], 1)
+        self.c = np.asarray(c, dtype=float).reshape(1, self.a.shape[0])
+        self.d = float(d)
+
+    @classmethod
+    def from_tf(cls, tf: TransferFunction) -> "StateSpace":
+        a, b, c, d = controllable_canonical(tf)
+        if cls.balanced and a.shape[0]:
+            a, b, c = balance(a, b, c)
+        return cls(a, b, c, d)
+
+    # ------------------------------------------------------------------
+
+    def coefficients(self) -> Dict[str, np.ndarray]:
+        return {
+            "A": self.a.ravel(),
+            "B": self.b.ravel(),
+            "C": self.c.ravel(),
+            "D": np.array([self.d]),
+        }
+
+    def with_coefficients(self, coeffs: Dict[str, np.ndarray]) -> "StateSpace":
+        order = self.a.shape[0]
+        return StateSpace(
+            coeffs["A"].reshape(order, order),
+            coeffs["B"],
+            coeffs["C"],
+            float(coeffs["D"][0]),
+        )
+
+    def to_tf(self) -> TransferFunction:
+        order = self.a.shape[0]
+        if order == 0:
+            return TransferFunction([self.d], [1.0])
+        den = np.poly(self.a)
+        # det(zI - A + B C) = den(z) (1 + C (zI - A)^{-1} B), so the
+        # strictly proper part's numerator is poly(A - B C) - poly(A).
+        num = np.poly(self.a - self.b @ self.c) - den + self.d * den
+        return TransferFunction(num, den)
+
+    def simulate(self, x: np.ndarray) -> np.ndarray:
+        x = np.asarray(x, dtype=float)
+        order = self.a.shape[0]
+        state = np.zeros(order)
+        y = np.empty_like(x)
+        for n, sample in enumerate(x):
+            y[n] = (self.c @ state).item() + self.d * sample
+            state = self.a @ state + self.b[:, 0] * sample
+        return y
+
+    def dataflow(self) -> DataflowStats:
+        order = self.a.shape[0]
+        return DataflowStats(
+            multiplies=order * order + 2 * order + 1,
+            additions=order * order + order,
+            delays=order,
+            loop_multiplies=1,
+            loop_additions=max(1, math.ceil(math.log2(max(order, 2)))),
+        )

@@ -1,0 +1,31 @@
+"""Shared utilities: reproducible RNG handling, statistics, fixed point.
+
+These helpers are deliberately small and dependency-free (numpy only) so
+that every substrate in :mod:`repro` can rely on them without import
+cycles.
+"""
+
+from repro.utils.rng import derive_seed, make_rng
+from repro.utils.stats import (
+    binomial_confidence_interval,
+    geometric_mean,
+    improvement_percent,
+)
+from repro.utils.fixed import (
+    quantize_real,
+    quantize_array,
+    to_fixed,
+    from_fixed,
+)
+
+__all__ = [
+    "derive_seed",
+    "make_rng",
+    "binomial_confidence_interval",
+    "geometric_mean",
+    "improvement_percent",
+    "quantize_real",
+    "quantize_array",
+    "to_fixed",
+    "from_fixed",
+]

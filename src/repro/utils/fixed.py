@@ -1,0 +1,87 @@
+"""Fixed-point quantization helpers.
+
+The IIR substrate quantizes filter coefficients to a given word length
+to decide the minimum implementable word length per structure, and the
+Viterbi quantizers reduce channel symbols to small integer levels.  Both
+use the saturating two's-complement model implemented here.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+import numpy as np
+
+ArrayLike = Union[float, np.ndarray]
+
+
+def to_fixed(value: ArrayLike, word_length: int, frac_bits: int) -> np.ndarray:
+    """Quantize to signed fixed point; returns the integer codes.
+
+    ``word_length`` counts all bits including sign; ``frac_bits`` is the
+    number of fractional bits.  Values outside the representable range
+    saturate (matching hardware behaviour rather than wrapping).
+    """
+    if word_length < 2:
+        raise ValueError("word_length must be at least 2 (sign + 1 bit)")
+    if frac_bits < 0 or frac_bits >= word_length:
+        raise ValueError("frac_bits must lie in [0, word_length)")
+    scale = float(1 << frac_bits)
+    lo = -(1 << (word_length - 1))
+    hi = (1 << (word_length - 1)) - 1
+    codes = np.round(np.asarray(value, dtype=float) * scale)
+    return np.clip(codes, lo, hi).astype(np.int64)
+
+
+def from_fixed(codes: ArrayLike, frac_bits: int) -> np.ndarray:
+    """Convert integer fixed-point codes back to real values."""
+    if frac_bits < 0:
+        raise ValueError("frac_bits must be non-negative")
+    return np.asarray(codes, dtype=float) / float(1 << frac_bits)
+
+
+def quantize_real(value: float, word_length: int, frac_bits: int) -> float:
+    """Round-trip a scalar through the fixed-point representation."""
+    return float(from_fixed(to_fixed(value, word_length, frac_bits), frac_bits))
+
+
+def quantize_array(
+    values: np.ndarray, word_length: int, frac_bits: int
+) -> np.ndarray:
+    """Round-trip an array through the fixed-point representation."""
+    return from_fixed(to_fixed(values, word_length, frac_bits), frac_bits)
+
+
+def quantize_mantissa(values: np.ndarray, word_length: int) -> np.ndarray:
+    """Quantize each value to a ``word_length``-bit signed mantissa with
+    its own power-of-two exponent.
+
+    This models coefficient memories that store (mantissa, shift) pairs
+    — the conventional implementation of lattice-ladder taps, whose
+    magnitudes span many octaves.  Exact zeros stay zero.
+    """
+    if word_length < 2:
+        raise ValueError("word_length must be at least 2 (sign + 1 bit)")
+    values = np.asarray(values, dtype=float)
+    out = np.zeros_like(values)
+    nonzero = values != 0.0
+    if np.any(nonzero):
+        magnitudes = np.abs(values[nonzero])
+        exponents = np.floor(np.log2(magnitudes)) + 1.0
+        scale = 2.0 ** (word_length - 1 - exponents)
+        out[nonzero] = np.round(values[nonzero] * scale) / scale
+    return out
+
+
+def needed_integer_bits(values: np.ndarray) -> int:
+    """Number of integer (non-fractional, non-sign) bits needed.
+
+    Returns the smallest ``i >= 0`` such that every value fits in
+    ``[-2**i, 2**i)``.  Used to split a word length between integer and
+    fractional parts when quantizing filter coefficients.
+    """
+    peak = float(np.max(np.abs(np.asarray(values, dtype=float)), initial=0.0))
+    bits = 0
+    while peak >= (1 << bits):
+        bits += 1
+    return bits

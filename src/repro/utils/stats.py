@@ -1,0 +1,74 @@
+"""Small statistics helpers used by the BER simulator and reporting."""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Tuple
+
+
+def binomial_confidence_interval(
+    errors: int, trials: int, z: float = 1.96
+) -> Tuple[float, float]:
+    """Wilson score interval for a binomial proportion.
+
+    Used to attach confidence bounds to Monte-Carlo BER estimates.  The
+    Wilson interval behaves sensibly for the small error counts that
+    occur at high signal-to-noise ratios (where the naive normal
+    interval collapses to a zero-width interval at zero errors).
+    """
+    if trials <= 0:
+        raise ValueError("trials must be positive")
+    if errors < 0 or errors > trials:
+        raise ValueError("errors must lie in [0, trials]")
+    p_hat = errors / trials
+    denom = 1.0 + z * z / trials
+    center = (p_hat + z * z / (2 * trials)) / denom
+    half = (
+        z
+        * math.sqrt(p_hat * (1 - p_hat) / trials + z * z / (4 * trials * trials))
+        / denom
+    )
+    return (max(0.0, center - half), min(1.0, center + half))
+
+
+def geometric_mean(values: Iterable[float]) -> float:
+    """Geometric mean of positive values (0 if any value is 0).
+
+    BER values span many orders of magnitude across an SNR sweep, so
+    averages of ratios are reported geometrically.
+    """
+    values = list(values)
+    if not values:
+        raise ValueError("geometric_mean of empty sequence")
+    if any(v < 0 for v in values):
+        raise ValueError("geometric_mean requires non-negative values")
+    if any(v == 0 for v in values):
+        return 0.0
+    log_sum = sum(math.log(v) for v in values)
+    return math.exp(log_sum / len(values))
+
+
+def improvement_percent(baseline: float, improved: float) -> float:
+    """Relative improvement of ``improved`` over ``baseline`` in percent.
+
+    This is the metric behind the paper's "M=4 results in a 64%
+    improvement in BER" claim: ``100 * (baseline - improved) /
+    baseline``.  Positive means ``improved`` is better (smaller).
+    """
+    if baseline <= 0:
+        raise ValueError("baseline must be positive")
+    return 100.0 * (baseline - improved) / baseline
+
+
+def mean_improvement_percent(
+    baseline: Iterable[float], improved: Iterable[float]
+) -> float:
+    """Average per-point BER improvement across an SNR sweep.
+
+    Points where the baseline itself measured zero errors are skipped:
+    no improvement over an exact zero is measurable by simulation.
+    """
+    pairs = [(b, i) for b, i in zip(baseline, improved) if b > 0]
+    if not pairs:
+        raise ValueError("no measurable baseline points")
+    return sum(improvement_percent(b, i) for b, i in pairs) / len(pairs)

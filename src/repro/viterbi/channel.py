@@ -1,0 +1,80 @@
+"""BPSK modulation over an AWGN channel.
+
+The paper measures decoder BER by software simulation of an additive
+white Gaussian noise channel (the model for atmospheric/environmental
+noise in satellite and cable links, Sec. 3.1).  Channel quality is
+parameterized by the per-symbol energy-to-noise-density ratio
+``Es/N0``; Table 3 specifies BER targets "at Es/N0 = 1.0" (linear, i.e.
+0 dB), so both linear and dB entry points are provided.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.utils.rng import SeedLike, make_rng
+
+
+def es_n0_db_to_linear(es_n0_db: float) -> float:
+    """Convert an Es/N0 value in dB to the linear ratio."""
+    return 10.0 ** (es_n0_db / 10.0)
+
+
+def es_n0_linear_to_db(es_n0: float) -> float:
+    """Convert a linear Es/N0 ratio to dB."""
+    if es_n0 <= 0:
+        raise ConfigurationError("Es/N0 must be positive")
+    return 10.0 * math.log10(es_n0)
+
+
+def noise_sigma(es_n0_db: float) -> float:
+    """Noise standard deviation for unit-energy BPSK symbols.
+
+    With symbol energy ``Es = 1`` and two-sided noise density ``N0/2``,
+    the per-sample Gaussian noise variance is ``N0/2 = 1/(2 Es/N0)``.
+    """
+    return math.sqrt(1.0 / (2.0 * es_n0_db_to_linear(es_n0_db)))
+
+
+def bpsk_modulate(symbols: np.ndarray) -> np.ndarray:
+    """Map channel bits to antipodal amplitudes: 0 -> +1, 1 -> -1."""
+    symbols = np.asarray(symbols)
+    return 1.0 - 2.0 * symbols.astype(float)
+
+
+@dataclass
+class AWGNChannel:
+    """An additive white Gaussian noise channel at a fixed Es/N0.
+
+    The channel knows its own noise level; decoders with *adaptive*
+    quantization read :attr:`sigma` to place their decision levels
+    (paper Fig. 4), while *fixed* quantization ignores it.
+    """
+
+    es_n0_db: float
+
+    def __post_init__(self) -> None:
+        self.sigma = noise_sigma(self.es_n0_db)
+
+    @classmethod
+    def from_linear(cls, es_n0: float) -> "AWGNChannel":
+        """Build a channel from a linear Es/N0 ratio (paper's Table 3 units)."""
+        return cls(es_n0_linear_to_db(es_n0))
+
+    def transmit(self, symbols: np.ndarray, rng: SeedLike = None) -> np.ndarray:
+        """Modulate 0/1 channel symbols and add Gaussian noise."""
+        generator = make_rng(rng)
+        clean = bpsk_modulate(symbols)
+        return clean + generator.normal(0.0, self.sigma, size=clean.shape)
+
+    def uncoded_ber(self) -> float:
+        """Theoretical uncoded BPSK bit error rate ``Q(sqrt(2 Es/N0))``.
+
+        Useful as a sanity reference for the coded simulations.
+        """
+        ratio = es_n0_db_to_linear(self.es_n0_db)
+        return 0.5 * math.erfc(math.sqrt(ratio))

@@ -1,0 +1,69 @@
+"""Textual diagrams of convolutional encoders (paper Fig. 2).
+
+The paper's Fig. 2 draws the K=3, G=(7,5) encoder as a shift register
+feeding XOR trees.  This module renders the same picture for any code
+in plain text — handy in reports and as the runnable counterpart of a
+figure that carries no measured data.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.viterbi.encoder import ConvolutionalEncoder
+
+
+def encoder_diagram(encoder: ConvolutionalEncoder) -> str:
+    """ASCII rendition of the encoder's register and XOR taps.
+
+    One column per register stage (the current input ``u`` followed by
+    the ``K-1`` memory bits), one row per generator polynomial, with an
+    ``x`` marking each tap.
+    """
+    k = encoder.constraint_length
+    stages = ["u"] + [f"R{i}" for i in range(1, k)]
+    width = 4
+    lines: List[str] = []
+    lines.append(
+        f"rate 1/{encoder.n_outputs} convolutional encoder, K={k}, "
+        f"G=({','.join(format(p, 'o') for p in encoder.polynomials)}) octal"
+    )
+    lines.append("")
+    header = "input ->" + "".join(f"[{s:^{width - 2}s}]" for s in stages)
+    lines.append(header)
+    offset = len("input ->")
+    for j, poly in enumerate(encoder.polynomials):
+        taps = []
+        for stage in range(k):
+            bit_position = k - 1 - stage  # MSB taps the current input
+            taps.append("x" if poly >> bit_position & 1 else " ")
+        row = " " * offset + "".join(f"  {t} " for t in taps)
+        lines.append(row + f"  --XOR--> c{j}")
+    lines.append("")
+    lines.append(
+        "each input bit shifts in from the left; every 'x' column feeds "
+        "that row's XOR"
+    )
+    return "\n".join(lines)
+
+
+def trellis_section_diagram(encoder: ConvolutionalEncoder) -> str:
+    """One trellis section as text (the Fig. 3 companion).
+
+    Lists, for each current state, both outgoing branches with their
+    input bit and channel symbols.
+    """
+    lines = [f"one trellis section ({encoder.n_states} states):"]
+    for state in range(encoder.n_states):
+        for bit in (0, 1):
+            nxt = encoder.next_state(state, bit)
+            symbols = "".join(
+                str(s) for s in encoder.output_symbols(state, bit)
+            )
+            edge = "----" if bit else "- - "
+            lines.append(
+                f"  {state:0{max(encoder.constraint_length - 1, 1)}b} "
+                f"{edge}[{bit}/{symbols}]{edge}> "
+                f"{nxt:0{max(encoder.constraint_length - 1, 1)}b}"
+            )
+    return "\n".join(lines)

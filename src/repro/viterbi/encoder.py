@@ -1,0 +1,131 @@
+"""Rate-1/n convolutional encoder (paper Sec. 3.1, Fig. 2).
+
+The encoder is a shift register of ``K`` bits (the current input plus
+the ``K-1`` previous inputs).  Each output symbol is the XOR of the
+register bits selected by one generator polynomial.  The state is the
+``K-1`` previous bits with the most recent bit in the most significant
+position, so the state transition for input ``u`` from state ``s`` is::
+
+    next_state = (u << (K - 2)) | (s >> 1)
+
+which matches the trellis convention used throughout the decoder.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.viterbi.polynomials import default_polynomials, validate_polynomials
+
+
+def _parity(values: np.ndarray) -> np.ndarray:
+    """Bitwise parity (popcount mod 2) of an integer array."""
+    out = np.zeros_like(values)
+    work = values.copy()
+    while np.any(work):
+        out ^= work & 1
+        work >>= 1
+    return out
+
+
+class ConvolutionalEncoder:
+    """A rate ``1/n`` convolutional encoder.
+
+    Parameters
+    ----------
+    constraint_length:
+        ``K``, the total register length (current bit + K-1 memory bits).
+        The paper explores K in {3, ..., 9}.
+    polynomials:
+        Generator polynomials as integers (conventionally written in
+        octal).  Defaults to the best-known rate-1/2 generators for K.
+    """
+
+    def __init__(
+        self,
+        constraint_length: int,
+        polynomials: Optional[Sequence[int]] = None,
+    ) -> None:
+        if constraint_length < 2:
+            raise ConfigurationError("constraint length must be at least 2")
+        self.constraint_length = int(constraint_length)
+        if polynomials is None:
+            polynomials = default_polynomials(self.constraint_length)
+        self.polynomials: Tuple[int, ...] = validate_polynomials(
+            polynomials, self.constraint_length
+        )
+        self.n_outputs = len(self.polynomials)
+        self.n_states = 1 << (self.constraint_length - 1)
+        # Precomputed lookup tables: for every (state, input) pair, the
+        # next state and the emitted symbols.  These tables are shared
+        # with the trellis used by the decoder.
+        self._next_state, self._outputs = self._build_tables()
+
+    @property
+    def rate(self) -> float:
+        """Code rate k/n (k=1 for this encoder family)."""
+        return 1.0 / self.n_outputs
+
+    def _build_tables(self) -> Tuple[np.ndarray, np.ndarray]:
+        k = self.constraint_length
+        states = np.arange(self.n_states, dtype=np.int64)
+        next_state = np.empty((self.n_states, 2), dtype=np.int64)
+        outputs = np.empty((self.n_states, 2, self.n_outputs), dtype=np.int8)
+        for bit in (0, 1):
+            register = (bit << (k - 1)) | states
+            next_state[:, bit] = (bit << (k - 2)) | (states >> 1)
+            for j, poly in enumerate(self.polynomials):
+                outputs[:, bit, j] = _parity(register & poly)
+        return next_state, outputs
+
+    def next_state(self, state: int, bit: int) -> int:
+        """State reached from ``state`` on input ``bit``."""
+        return int(self._next_state[state, bit])
+
+    def output_symbols(self, state: int, bit: int) -> Tuple[int, ...]:
+        """Channel symbols emitted from ``state`` on input ``bit``."""
+        return tuple(int(v) for v in self._outputs[state, bit])
+
+    def encode(self, bits: np.ndarray, initial_state: int = 0) -> np.ndarray:
+        """Encode a bit array.
+
+        ``bits`` may be 1-D (one message) or 2-D ``(frames, length)``;
+        the result appends an axis of size ``n`` holding the channel
+        symbols per input bit, i.e. shape ``(..., length, n)``.
+        """
+        bits = np.asarray(bits)
+        if bits.ndim not in (1, 2):
+            raise ConfigurationError("bits must be a 1-D or 2-D array")
+        if bits.size and (bits.min() < 0 or bits.max() > 1):
+            raise ConfigurationError("bits must be 0/1 valued")
+        squeeze = bits.ndim == 1
+        frames = bits.reshape(1, -1) if squeeze else bits
+        n_frames, length = frames.shape
+        state = np.full(n_frames, int(initial_state), dtype=np.int64)
+        if initial_state < 0 or initial_state >= self.n_states:
+            raise ConfigurationError("initial_state out of range")
+        symbols = np.empty((n_frames, length, self.n_outputs), dtype=np.int8)
+        frame_idx = np.arange(n_frames)
+        for t in range(length):
+            bit = frames[:, t].astype(np.int64)
+            symbols[:, t, :] = self._outputs[state, bit]
+            state = self._next_state[state, bit]
+        del frame_idx
+        return symbols[0] if squeeze else symbols
+
+    def terminate(self, bits: np.ndarray) -> np.ndarray:
+        """Append the K-1 zero flush bits that return the encoder to state 0."""
+        bits = np.asarray(bits)
+        tail_shape = bits.shape[:-1] + (self.constraint_length - 1,)
+        tail = np.zeros(tail_shape, dtype=bits.dtype)
+        return np.concatenate([bits, tail], axis=-1)
+
+    def __repr__(self) -> str:
+        polys = ",".join(format(p, "o") for p in self.polynomials)
+        return (
+            f"ConvolutionalEncoder(K={self.constraint_length}, "
+            f"G=({polys}) octal, rate=1/{self.n_outputs})"
+        )

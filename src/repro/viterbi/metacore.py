@@ -1,0 +1,409 @@
+"""The Viterbi MetaCore (paper Sec. 4.1/4.2 and 5.2).
+
+Bundles the four MetaCore components for the Viterbi driver:
+
+- the 8-dimensional design space of Table 2 (K, L, G, R1, R2, Q, N, M);
+- objectives/constraints: minimize area at a fixed throughput subject
+  to a BER threshold curve;
+- the cost-evaluation engine: union-bound BER estimation at the lowest
+  fidelity, Monte-Carlo simulation with growing bit budgets above it,
+  and the Trimaran-stand-in machine model for area/throughput;
+- glue to run the multiresolution search and to build the concrete
+  decoder for any design point.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+from repro.core.objectives import BERThresholdCurve, DesignGoal, Objective
+from repro.core.parameters import (
+    Correlation,
+    DesignSpace,
+    DiscreteParameter,
+    Point,
+)
+from repro.core.search import MetacoreSearch, SearchConfig, SearchResult
+from repro.errors import ConfigurationError, SynthesisError
+from repro.hardware.trace import ViterbiInstanceParams, viterbi_program
+from repro.hardware.vliw import ImplementationEstimate, optimize_machine
+from repro.viterbi.ber import BERSimulator, DEFAULT_SEED
+from repro.viterbi.bounds import estimate_ber
+from repro.viterbi.decoder import ViterbiDecoder
+from repro.viterbi.encoder import ConvolutionalEncoder
+from repro.viterbi.multires import MultiresolutionViterbiDecoder
+from repro.viterbi.polynomials import default_polynomials
+from repro.viterbi.quantize import HardQuantizer, make_quantizer
+from repro.viterbi.trellis import Trellis
+
+#: Es/N0 penalty (dB) of fixed relative to adaptive quantization in the
+#: analytic estimate (the fixed decision level is mistuned off its
+#: design SNR; calibrated against Monte-Carlo runs).
+FIXED_QUANTIZATION_PENALTY_DB = 0.3
+
+#: Monte-Carlo budgets per fidelity level: (max bits, target errors).
+#: Level 0 is analytic (no simulation).
+FIDELITY_BUDGETS: Tuple[Tuple[int, int], ...] = (
+    (0, 0),
+    (24_000, 60),
+    (80_000, 120),
+    (240_000, 250),
+)
+
+#: At the top fidelity the bit budget also adapts to the BER threshold
+#: under test: enough bits for ~TOP_FIDELITY_ERRORS_AT_THRESHOLD errors
+#: at threshold-level BER, capped to keep a single confirmation bounded.
+TOP_FIDELITY_ERRORS_AT_THRESHOLD = 25
+TOP_FIDELITY_MAX_BITS = 2_500_000
+
+
+def viterbi_design_space(
+    fixed: Optional[Dict[str, object]] = None,
+) -> DesignSpace:
+    """The Table-2 design space.
+
+    ``fixed`` pins parameters to single values (the paper fixes G and N
+    "to speedup the search process"); pass e.g. ``{"Q": "adaptive"}``.
+    ``M = 0`` encodes pure (non-multiresolution) decoding; positive M
+    is the number of recomputed high-resolution paths.
+    """
+    fixed = dict(fixed or {})
+    definitions = [
+        DiscreteParameter(
+            "K", (3, 4, 5, 6, 7), Correlation.MONOTONIC, "constraint length"
+        ),
+        DiscreteParameter(
+            "L_mult",
+            (1, 2, 3, 4, 5, 6, 7),
+            Correlation.MONOTONIC,
+            "trace-back depth in multiples of K",
+        ),
+        DiscreteParameter(
+            "G",
+            ("standard",),
+            Correlation.NONE,
+            "encoder polynomials (standard = best-known for K)",
+        ),
+        DiscreteParameter(
+            "R1", (1, 2, 3), Correlation.MONOTONIC, "low-resolution bits"
+        ),
+        DiscreteParameter(
+            "R2", (2, 3, 4, 5), Correlation.MONOTONIC, "high-resolution bits"
+        ),
+        DiscreteParameter(
+            "Q",
+            ("hard", "fixed", "adaptive"),
+            Correlation.NONE,
+            "quantization method",
+        ),
+        DiscreteParameter(
+            "N", (1, 2, 3, 4), Correlation.MONOTONIC, "normalization branches"
+        ),
+        DiscreteParameter(
+            "M",
+            (0, 1, 2, 4, 8, 16, 32, 64),
+            Correlation.MONOTONIC,
+            "multiresolution paths (0 = pure decoding)",
+        ),
+    ]
+    parameters = []
+    for definition in definitions:
+        if definition.name in fixed:
+            value = fixed.pop(definition.name)
+            definition.index_of(value)  # validate
+            definition = DiscreteParameter(
+                definition.name,
+                (value,),
+                definition.correlation,
+                definition.description,
+            )
+        parameters.append(definition)
+    if fixed:
+        raise ConfigurationError(f"unknown fixed parameters: {sorted(fixed)}")
+    return DesignSpace(parameters)
+
+
+def normalize_viterbi_point(point: Point) -> Point:
+    """Canonicalize the dependent Table-2 parameters.
+
+    The axes are not independent (M <= 2**(K-1), R2 > R1, N <= M, hard
+    decoding implies 1-bit R1 and no recomputation); grid points are
+    repaired to the nearest valid configuration so that every point the
+    search generates is evaluable, and equivalent configurations
+    collapse to one canonical form (deduplicated by the search cache).
+    """
+    repaired = dict(point)
+    k = int(repaired["K"])
+    max_paths = 1 << (k - 1)
+    if repaired["Q"] == "hard":
+        repaired["R1"] = 1
+        repaired["M"] = 0
+    # Clamp the path count to the trellis size (M = 2**(K-1) recomputes
+    # every state, i.e. behaves like full soft decoding at R2).
+    m = min(int(repaired["M"]), max_paths)
+    repaired["M"] = m
+    if m == 0:
+        # Pure decoding: R2 and N are inert; pin them to canonical values.
+        repaired["R2"] = 2
+        repaired["N"] = 1
+        if int(repaired["R1"]) == 1:
+            repaired["Q"] = "hard"
+    else:
+        if int(repaired["R2"]) <= int(repaired["R1"]):
+            repaired["R2"] = int(repaired["R1"]) + 1
+        repaired["N"] = min(int(repaired["N"]), m)
+        if repaired["Q"] == "hard":
+            repaired["Q"] = "adaptive"
+    return repaired
+
+
+def traceback_depth(point: Point) -> int:
+    """L = L_mult * K (the paper searches L in multiples of K)."""
+    return int(point["L_mult"]) * int(point["K"])
+
+
+def polynomials_for_point(point: Point) -> Tuple[int, ...]:
+    """Generator polynomials a point decodes with."""
+    if point["G"] != "standard":
+        raise ConfigurationError(f"unknown polynomial choice {point['G']!r}")
+    return default_polynomials(int(point["K"]))
+
+
+def instance_params(point: Point) -> ViterbiInstanceParams:
+    """Hardware-model parameters of a (normalized) design point."""
+    point = normalize_viterbi_point(point)
+    n_symbols = len(polynomials_for_point(point))
+    multires = int(point["M"]) > 0
+    return ViterbiInstanceParams(
+        constraint_length=int(point["K"]),
+        traceback_depth=traceback_depth(point),
+        low_resolution_bits=int(point["R1"]),
+        n_symbols=n_symbols,
+        high_resolution_bits=int(point["R2"]) if multires else None,
+        multires_paths=int(point["M"]) if multires else None,
+        normalization_count=int(point["N"]) if multires else 0,
+    )
+
+
+def build_decoder(point: Point) -> ViterbiDecoder:
+    """Construct the concrete decoder a design point describes."""
+    point = normalize_viterbi_point(point)
+    k = int(point["K"])
+    encoder = ConvolutionalEncoder(k, polynomials_for_point(point))
+    trellis = Trellis.from_encoder(encoder)
+    depth = traceback_depth(point)
+    r1 = int(point["R1"])
+    method = str(point["Q"])
+    if int(point["M"]) > 0:
+        low = HardQuantizer() if r1 == 1 else make_quantizer(method, r1)
+        high = make_quantizer(method, int(point["R2"]))
+        return MultiresolutionViterbiDecoder(
+            trellis,
+            low,
+            high,
+            depth,
+            multires_paths=int(point["M"]),
+            normalization_count=int(point["N"]),
+        )
+    quantizer = HardQuantizer() if r1 == 1 else make_quantizer(method, r1)
+    return ViterbiDecoder(trellis, quantizer, depth)
+
+
+def describe_point(point: Point) -> str:
+    """A Table-3 style row for a design point."""
+    point = normalize_viterbi_point(point)
+    polys = ",".join(format(p, "o") for p in polynomials_for_point(point))
+    multires = int(point["M"]) > 0
+    return (
+        f"K={point['K']} L={point['L_mult']}*K G=({polys}) "
+        f"R1={point['R1']} "
+        f"R2={point['R2'] if multires else 'NA'} "
+        f"Q={str(point['Q'])[0].upper()} "
+        f"N={point['N'] if multires else 'NA'} "
+        f"M={point['M'] if multires else 'NA'}"
+    )
+
+
+# ---------------------------------------------------------------------------
+# Specification + evaluator
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class ViterbiSpec:
+    """A user specification: throughput plus a BER threshold curve."""
+
+    throughput_bps: float
+    ber_curve: BERThresholdCurve
+    feature_um: float = 0.25
+    seed: int = DEFAULT_SEED
+
+    def __post_init__(self) -> None:
+        if self.throughput_bps <= 0:
+            raise ConfigurationError("throughput must be positive")
+
+    def goal(self) -> DesignGoal:
+        """Minimize area subject to the specification's BER curve."""
+        return DesignGoal(
+            objectives=[Objective("area_mm2")],
+            ber_curve=self.ber_curve,
+        )
+
+
+class ViterbiMetacoreEvaluator:
+    """Cost-evaluation engine for the Viterbi MetaCore.
+
+    Fidelity 0 prices BER with the union-bound estimator; fidelities
+    1..3 run Monte-Carlo simulation with growing bit budgets (the
+    paper's "more accurate simulation results (longer run times)" on
+    finer grids).  Area/throughput always go through the machine model,
+    which is cheap and deterministic.
+    """
+
+    def __init__(self, spec: ViterbiSpec) -> None:
+        self.spec = spec
+        self.max_fidelity = len(FIDELITY_BUDGETS) - 1
+        self._simulators: Dict[Tuple[int, Tuple[int, ...]], BERSimulator] = {}
+
+    # -- BER ------------------------------------------------------------
+
+    def _simulator(self, point: Point) -> BERSimulator:
+        k = int(point["K"])
+        polys = polynomials_for_point(point)
+        key = (k, polys)
+        if key not in self._simulators:
+            self._simulators[key] = BERSimulator(
+                ConvolutionalEncoder(k, polys), seed=self.spec.seed
+            )
+        return self._simulators[key]
+
+    def _analytic_ber(self, point: Point, es_n0_db: float) -> float:
+        multires = int(point["M"]) > 0
+        effective = es_n0_db
+        if point["Q"] == "fixed":
+            effective -= FIXED_QUANTIZATION_PENALTY_DB
+        return estimate_ber(
+            int(point["K"]),
+            polynomials_for_point(point),
+            effective,
+            quantizer_bits=int(point["R1"]),
+            traceback_depth=traceback_depth(point),
+            high_bits=int(point["R2"]) if multires else None,
+            multires_paths=int(point["M"]) if multires else None,
+        )
+
+    def _ber_metrics(self, point: Point, fidelity: int) -> Dict[str, float]:
+        """Worst-margin BER metrics over the specified threshold curve."""
+        curve = self.spec.ber_curve
+        metrics: Dict[str, float] = {}
+        worst_violation = -math.inf
+        binding: Optional[Dict[str, float]] = None
+        decoder = None
+        for es_n0_db, threshold in curve.points:
+            if fidelity == 0:
+                ber = self._analytic_ber(point, es_n0_db)
+                errors = bits = None
+            else:
+                if decoder is None:
+                    decoder = build_decoder(point)
+                max_bits, target_errors = FIDELITY_BUDGETS[fidelity]
+                if fidelity == self.max_fidelity:
+                    # Resolve the threshold: enough bits to expect a
+                    # meaningful error count at threshold-level BER.
+                    needed = int(
+                        TOP_FIDELITY_ERRORS_AT_THRESHOLD / threshold
+                    )
+                    max_bits = min(
+                        max(max_bits, needed), TOP_FIDELITY_MAX_BITS
+                    )
+                measured = self._simulator(point).measure(
+                    decoder, es_n0_db, max_bits=max_bits, target_errors=target_errors
+                )
+                ber = max(measured.errors, 0.5) / measured.bits
+                errors, bits = measured.errors, measured.bits
+            violation = math.log10(max(ber, 1e-300) / threshold)
+            if violation > worst_violation:
+                worst_violation = violation
+                binding = {
+                    "ber": ber,
+                    "ber_threshold": threshold,
+                    "ber_es_n0_db": es_n0_db,
+                }
+                if errors is not None:
+                    binding["ber_errors"] = float(errors)
+                    binding["ber_bits"] = float(bits)
+        assert binding is not None
+        metrics.update(binding)
+        metrics["ber_violation"] = max(0.0, worst_violation)
+        return metrics
+
+    # -- area / throughput ----------------------------------------------
+
+    def _hardware_metrics(self, point: Point) -> Dict[str, float]:
+        program = viterbi_program(instance_params(point))
+        try:
+            estimate: ImplementationEstimate = optimize_machine(
+                program,
+                self.spec.throughput_bps,
+                feature_um=self.spec.feature_um,
+            )
+        except SynthesisError:
+            return {
+                "area_mm2": math.inf,
+                "throughput_bps": 0.0,
+                "hw_feasible": 0.0,
+            }
+        return {
+            "area_mm2": estimate.area_mm2,
+            "throughput_bps": estimate.throughput_bps,
+            "cycles_per_bit": estimate.schedule.cycles,
+            "n_alus": float(estimate.machine.n_alus),
+            "hw_feasible": 1.0,
+        }
+
+    # -- evaluator protocol ----------------------------------------------
+
+    def evaluate(self, point: Point, fidelity: int) -> Dict[str, float]:
+        """Price one design point: hardware first, then BER metrics."""
+        if not 0 <= fidelity <= self.max_fidelity:
+            raise ConfigurationError(f"fidelity {fidelity} out of range")
+        point = normalize_viterbi_point(point)
+        metrics = self._hardware_metrics(point)
+        if math.isinf(metrics["area_mm2"]):
+            # No machine reaches the throughput: skip the (expensive)
+            # BER work, the point is dead either way.
+            metrics["ber_violation"] = math.inf
+            return metrics
+        metrics.update(self._ber_metrics(point, fidelity))
+        return metrics
+
+
+@dataclass
+class ViterbiMetaCore:
+    """Facade: specification in, optimized decoder instance out."""
+
+    spec: ViterbiSpec
+    fixed: Dict[str, object] = field(default_factory=dict)
+    config: Optional[SearchConfig] = None
+
+    def design_space(self) -> DesignSpace:
+        """The Table-2 space with this MetaCore's fixed parameters."""
+        return viterbi_design_space(self.fixed)
+
+    def search(self) -> SearchResult:
+        """Run the multiresolution search for this specification."""
+        evaluator = ViterbiMetacoreEvaluator(self.spec)
+        searcher = MetacoreSearch(
+            self.design_space(),
+            self.spec.goal(),
+            evaluator,
+            config=self.config,
+            normalizer=normalize_viterbi_point,
+        )
+        return searcher.run()
+
+    def build(self, point: Point) -> ViterbiDecoder:
+        """Construct the concrete decoder for a design point."""
+        return build_decoder(point)

@@ -1,0 +1,108 @@
+"""Standard convolutional-code generator polynomials.
+
+The paper fixes the encoder polynomial ``G`` to the published
+maximal-free-distance generators for each constraint length (Table 3
+uses ``7,5`` for K=3, ``35,23`` for K=5 and ``171,133`` for K=7).  These
+are the classic rate-1/2 codes tabulated by Larsen [Lar73] and
+Odenwalder [Ode70]; we ship them as the library defaults and also accept
+arbitrary user-supplied polynomials.
+
+Polynomials are written in octal, most-significant bit corresponding to
+the *current* input bit, as is conventional in the coding literature.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence, Tuple
+
+from repro.errors import ConfigurationError
+
+#: Best-known rate-1/2 generator polynomials (octal) per constraint length.
+BEST_RATE_HALF: Dict[int, Tuple[int, int]] = {
+    3: (0o7, 0o5),
+    4: (0o17, 0o15),
+    5: (0o35, 0o23),
+    6: (0o75, 0o53),
+    7: (0o171, 0o133),
+    8: (0o371, 0o247),
+    9: (0o753, 0o561),
+}
+
+#: Best-known rate-1/3 generator polynomials (octal) per constraint length.
+BEST_RATE_THIRD: Dict[int, Tuple[int, int, int]] = {
+    3: (0o7, 0o7, 0o5),
+    4: (0o17, 0o15, 0o13),
+    5: (0o37, 0o33, 0o25),
+    6: (0o75, 0o53, 0o47),
+    7: (0o171, 0o165, 0o133),
+    8: (0o367, 0o331, 0o225),
+    9: (0o711, 0o663, 0o557),
+}
+
+
+def parse_octal(text: str) -> int:
+    """Parse a polynomial written in octal text form (e.g. ``"171"``)."""
+    try:
+        return int(text, 8)
+    except ValueError as exc:
+        raise ConfigurationError(f"not an octal polynomial: {text!r}") from exc
+
+
+def to_octal(poly: int) -> str:
+    """Render a polynomial integer in the conventional octal notation."""
+    if poly < 0:
+        raise ConfigurationError("polynomials must be non-negative")
+    return format(poly, "o")
+
+
+def default_polynomials(constraint_length: int, rate_inverse: int = 2) -> Tuple[int, ...]:
+    """Return the best-known generators for ``constraint_length``.
+
+    ``rate_inverse`` is ``n`` in the code rate ``1/n``; the library ships
+    tables for rates 1/2 and 1/3.
+    """
+    if rate_inverse == 2:
+        table: Dict[int, Tuple[int, ...]] = BEST_RATE_HALF
+    elif rate_inverse == 3:
+        table = BEST_RATE_THIRD
+    else:
+        raise ConfigurationError(
+            f"no built-in polynomial table for rate 1/{rate_inverse}"
+        )
+    try:
+        return table[constraint_length]
+    except KeyError as exc:
+        raise ConfigurationError(
+            f"no built-in rate 1/{rate_inverse} polynomials for K="
+            f"{constraint_length}; supply explicit generators"
+        ) from exc
+
+
+def validate_polynomials(
+    polynomials: Sequence[int], constraint_length: int
+) -> Tuple[int, ...]:
+    """Validate generators against a constraint length.
+
+    Each polynomial must fit in ``constraint_length`` bits and the
+    leading (current-input) tap must be present in at least one
+    generator, otherwise the encoder would ignore its input.
+    """
+    polys = tuple(int(p) for p in polynomials)
+    if not polys:
+        raise ConfigurationError("at least one generator polynomial required")
+    limit = 1 << constraint_length
+    for poly in polys:
+        if poly <= 0:
+            raise ConfigurationError(f"polynomial {poly} must be positive")
+        if poly >= limit:
+            raise ConfigurationError(
+                f"polynomial {to_octal(poly)} (octal) does not fit in "
+                f"K={constraint_length} bits"
+            )
+    top_tap = 1 << (constraint_length - 1)
+    if not any(poly & top_tap for poly in polys):
+        raise ConfigurationError(
+            "no generator taps the current input bit; the code would be "
+            "catastrophically degenerate"
+        )
+    return polys

@@ -1,0 +1,146 @@
+"""Punctured convolutional codes.
+
+The paper's preliminaries define the general code rate ``k/n``
+(Sec. 3.1); practical Viterbi cores reach rates above the mother code's
+1/n by *puncturing* — periodically deleting encoder output symbols
+according to a fixed pattern.  The decoder re-inserts the deleted
+positions as *erasures* (NaN analog samples), which the branch metrics
+ignore (:mod:`repro.viterbi.metrics`), so the same trellis decodes all
+punctured rates.
+
+The shipped patterns are the de-facto standard ones used with the
+K=7 (171,133) code in DVB and related systems.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from math import gcd
+from typing import Dict, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class PuncturePattern:
+    """A periodic keep/delete mask over encoder output symbols.
+
+    ``mask`` has shape ``(period, n_symbols)``; a 1 keeps the symbol, a
+    0 deletes it.  The punctured code rate is
+    ``period / sum(mask)`` (input bits per transmitted symbol).
+    """
+
+    name: str
+    mask: Tuple[Tuple[int, ...], ...]
+
+    def __post_init__(self) -> None:
+        if not self.mask or not self.mask[0]:
+            raise ConfigurationError("empty puncture mask")
+        width = len(self.mask[0])
+        if any(len(row) != width for row in self.mask):
+            raise ConfigurationError("ragged puncture mask")
+        flat = [bit for row in self.mask for bit in row]
+        if any(bit not in (0, 1) for bit in flat):
+            raise ConfigurationError("puncture mask must be 0/1")
+        if sum(flat) == 0:
+            raise ConfigurationError("puncture mask deletes everything")
+        if any(sum(row) == 0 for row in self.mask):
+            raise ConfigurationError(
+                "a puncture row deletes every symbol of one input bit"
+            )
+
+    @property
+    def period(self) -> int:
+        return len(self.mask)
+
+    @property
+    def n_symbols(self) -> int:
+        return len(self.mask[0])
+
+    @property
+    def kept_per_period(self) -> int:
+        return sum(bit for row in self.mask for bit in row)
+
+    @property
+    def rate(self) -> Tuple[int, int]:
+        """Punctured code rate (k, n) in lowest terms."""
+        k, n = self.period, self.kept_per_period
+        divisor = gcd(k, n)
+        return k // divisor, n // divisor
+
+    def mask_array(self, n_steps: int) -> np.ndarray:
+        """Boolean keep-mask of shape ``(n_steps, n_symbols)``."""
+        base = np.asarray(self.mask, dtype=bool)
+        repeats = -(-n_steps // self.period)  # ceil
+        return np.tile(base, (repeats, 1))[:n_steps]
+
+    # ------------------------------------------------------------------
+
+    def puncture(self, symbols: np.ndarray) -> np.ndarray:
+        """Delete masked symbols: ``(..., steps, n)`` -> ``(..., kept)``.
+
+        Requires ``steps`` to be a multiple of the pattern period so
+        every frame carries a whole number of puncturing cycles.
+        """
+        symbols = np.asarray(symbols)
+        steps, width = symbols.shape[-2], symbols.shape[-1]
+        if width != self.n_symbols:
+            raise ConfigurationError(
+                f"pattern expects {self.n_symbols} symbols per step"
+            )
+        if steps % self.period:
+            raise ConfigurationError(
+                f"frame length {steps} not a multiple of period {self.period}"
+            )
+        keep = self.mask_array(steps)
+        flat = symbols.reshape(symbols.shape[:-2] + (steps * width,))
+        return flat[..., keep.reshape(-1)]
+
+    def depuncture(self, received: np.ndarray, n_steps: int) -> np.ndarray:
+        """Re-insert erasures: ``(..., kept)`` -> ``(..., steps, n)``.
+
+        Deleted positions become NaN, which quantizers map to the
+        erasure level and branch metrics skip.
+        """
+        received = np.asarray(received, dtype=float)
+        keep = self.mask_array(n_steps).reshape(-1)
+        expected = int(keep.sum())
+        if received.shape[-1] != expected:
+            raise ConfigurationError(
+                f"expected {expected} received symbols, got "
+                f"{received.shape[-1]}"
+            )
+        out = np.full(received.shape[:-1] + (keep.size,), np.nan)
+        out[..., keep] = received
+        return out.reshape(
+            received.shape[:-1] + (n_steps, self.n_symbols)
+        )
+
+
+#: Standard rate-compatible patterns for rate-1/2 mother codes (the
+#: DVB-S set used with the K=7 (171,133) code).
+STANDARD_PATTERNS: Dict[str, PuncturePattern] = {
+    "1/2": PuncturePattern("1/2", ((1, 1),)),
+    "2/3": PuncturePattern("2/3", ((1, 1), (0, 1))),
+    "3/4": PuncturePattern("3/4", ((1, 1), (0, 1), (1, 0))),
+    "5/6": PuncturePattern(
+        "5/6", ((1, 1), (0, 1), (1, 0), (0, 1), (1, 0))
+    ),
+    "7/8": PuncturePattern(
+        "7/8",
+        ((1, 1), (0, 1), (0, 1), (0, 1), (1, 0), (0, 1), (1, 0)),
+    ),
+}
+
+
+def standard_pattern(rate: str) -> PuncturePattern:
+    """Look up one of the standard patterns by rate string."""
+    try:
+        return STANDARD_PATTERNS[rate]
+    except KeyError as exc:
+        raise ConfigurationError(
+            f"no standard pattern for rate {rate!r}; available: "
+            f"{sorted(STANDARD_PATTERNS)}"
+        ) from exc

@@ -1,0 +1,40 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.iir.design import design_filter, paper_bandpass_spec
+from repro.viterbi import ConvolutionalEncoder, Trellis
+
+
+@pytest.fixture(scope="session")
+def encoder_k3() -> ConvolutionalEncoder:
+    return ConvolutionalEncoder(3)
+
+
+@pytest.fixture(scope="session")
+def encoder_k5() -> ConvolutionalEncoder:
+    return ConvolutionalEncoder(5)
+
+
+@pytest.fixture(scope="session")
+def trellis_k3(encoder_k3) -> Trellis:
+    return Trellis.from_encoder(encoder_k3)
+
+
+@pytest.fixture(scope="session")
+def trellis_k5(encoder_k5) -> Trellis:
+    return Trellis.from_encoder(encoder_k5)
+
+
+@pytest.fixture(scope="session")
+def bandpass_tf():
+    """The paper's Sec. 5.3 elliptic band-pass filter (order 8)."""
+    return design_filter(paper_bandpass_spec(), "elliptic").to_tf()
+
+
+@pytest.fixture()
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)

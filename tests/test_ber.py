@@ -1,0 +1,107 @@
+"""Tests for the Monte-Carlo BER simulator."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.viterbi import (
+    BERPoint,
+    BERSimulator,
+    BERSweep,
+    HardQuantizer,
+    Trellis,
+    ViterbiDecoder,
+)
+
+
+@pytest.fixture()
+def decoder_k3(trellis_k3):
+    return ViterbiDecoder(trellis_k3, HardQuantizer(), 15)
+
+
+class TestBERPoint:
+    def test_ber_value(self):
+        point = BERPoint(es_n0_db=2.0, bits=10_000, errors=25)
+        assert point.ber == pytest.approx(2.5e-3)
+
+    def test_confidence_interval_brackets(self):
+        point = BERPoint(es_n0_db=2.0, bits=10_000, errors=25)
+        lo, hi = point.confidence_interval()
+        assert lo < point.ber < hi
+
+    def test_str_contains_counts(self):
+        point = BERPoint(es_n0_db=2.0, bits=100, errors=3)
+        assert "3/100" in str(point)
+
+
+class TestSimulator:
+    def test_reproducible(self, encoder_k3, decoder_k3):
+        sim = BERSimulator(encoder_k3, frame_length=128, seed=5)
+        a = sim.measure(decoder_k3, 2.0, max_bits=20_000, target_errors=None)
+        b = sim.measure(decoder_k3, 2.0, max_bits=20_000, target_errors=None)
+        assert a.errors == b.errors and a.bits == b.bits
+
+    def test_seed_changes_results(self, encoder_k3, decoder_k3):
+        sim = BERSimulator(encoder_k3, frame_length=128)
+        a = sim.measure(decoder_k3, 2.0, max_bits=20_000, seed=1)
+        b = sim.measure(decoder_k3, 2.0, max_bits=20_000, seed=2)
+        assert (a.errors, a.bits) != (b.errors, b.bits) or a.errors == 0
+
+    def test_early_termination(self, encoder_k3, decoder_k3):
+        sim = BERSimulator(encoder_k3, frame_length=128, frames_per_batch=4)
+        point = sim.measure(decoder_k3, -2.0, max_bits=500_000, target_errors=50)
+        assert point.errors >= 50
+        assert point.bits < 500_000
+
+    def test_runs_to_max_bits_at_high_snr(self, encoder_k3, decoder_k3):
+        sim = BERSimulator(encoder_k3, frame_length=128, frames_per_batch=4)
+        point = sim.measure(decoder_k3, 9.0, max_bits=4_096, target_errors=10_000)
+        assert point.bits >= 4_096
+
+    def test_ber_decreases_with_snr(self, encoder_k3, decoder_k3):
+        sim = BERSimulator(encoder_k3, frame_length=256)
+        sweep = sim.sweep(
+            decoder_k3, [-1.0, 1.0, 3.0], max_bits=40_000, target_errors=300
+        )
+        bers = sweep.ber
+        assert bers[0] > bers[1] > bers[2]
+
+    def test_coded_beats_uncoded_at_moderate_snr(self, encoder_k5, trellis_k5):
+        from repro.viterbi import AWGNChannel, AdaptiveQuantizer
+
+        decoder = ViterbiDecoder(trellis_k5, AdaptiveQuantizer(3), 25)
+        sim = BERSimulator(encoder_k5, frame_length=256)
+        point = sim.measure(decoder, 2.0, max_bits=40_000, target_errors=200)
+        assert point.ber < AWGNChannel(2.0).uncoded_ber()
+
+    def test_rejects_tiny_frames(self, encoder_k3):
+        with pytest.raises(ConfigurationError):
+            BERSimulator(encoder_k3, frame_length=4)
+
+    def test_rejects_max_bits_below_frame(self, encoder_k3, decoder_k3):
+        sim = BERSimulator(encoder_k3, frame_length=128)
+        with pytest.raises(ConfigurationError):
+            sim.measure(decoder_k3, 2.0, max_bits=64)
+
+
+class TestSweep:
+    def test_at_picks_nearest(self):
+        sweep = BERSweep(
+            label="x",
+            points=[
+                BERPoint(0.0, 100, 10),
+                BERPoint(2.0, 100, 5),
+            ],
+        )
+        assert sweep.at(1.8).es_n0_db == 2.0
+
+    def test_at_empty_raises(self):
+        with pytest.raises(ConfigurationError):
+            BERSweep(label="x").at(1.0)
+
+    def test_improvement_over(self):
+        base = BERSweep("b", [BERPoint(0.0, 1000, 100)])
+        better = BERSweep("i", [BERPoint(0.0, 1000, 36)])
+        assert better.improvement_over(base) == pytest.approx(64.0)

@@ -1,0 +1,100 @@
+"""Tests for the command-line interface (the Fig. 7 stand-in)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_viterbi_search_args(self):
+        args = build_parser().parse_args(
+            ["viterbi-search", "--ber", "1e-4", "--throughput", "2e6"]
+        )
+        assert args.ber == 1e-4
+        assert args.es_n0_db == 2.0
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+
+class TestCommands:
+    def test_spectrum(self, capsys):
+        assert main(["spectrum", "--k", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "free distance: 7" in out
+
+    def test_viterbi_ber(self, capsys):
+        code = main(
+            [
+                "viterbi-ber", "--k", "3", "--m", "0", "--q", "hard",
+                "--snr", "4.0", "--bits", "10000", "--errors", "20",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "K=3" in out and "Es/N0" in out
+
+    def test_iir_design_pass(self, capsys):
+        code = main(
+            ["iir-design", "--family", "elliptic", "--structure", "cascade",
+             "--word", "20"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "meets spec=True" in out
+
+    def test_iir_design_fail_exit_code(self, capsys):
+        code = main(
+            ["iir-design", "--family", "elliptic", "--structure", "direct2",
+             "--word", "8"]
+        )
+        assert code == 1
+
+    def test_viterbi_search_easy_spec(self, capsys):
+        code = main(
+            [
+                "viterbi-search", "--ber", "5e-2", "--es-n0-db", "4.0",
+                "--throughput", "1e6", "--max-resolution", "1",
+                "--top-k", "1",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "winner:" in out
+
+    def test_viterbi_search_infeasible_exit_code(self, capsys):
+        code = main(
+            [
+                "viterbi-search", "--ber", "1e-9", "--es-n0-db", "3.0",
+                "--throughput", "1e6", "--max-resolution", "0",
+                "--top-k", "1",
+            ]
+        )
+        assert code == 1
+        assert "NOT FEASIBLE" in capsys.readouterr().out
+
+    def test_diagram_command(self, capsys):
+        assert main(["diagram", "--k", "3", "--trellis"]) == 0
+        out = capsys.readouterr().out
+        assert "G=(7,5)" in out
+        assert "trellis section" in out
+
+    def test_iir_noise_command(self, capsys):
+        assert main(["iir-noise", "--word", "12"]) == 0
+        out = capsys.readouterr().out
+        assert "noise gain" in out
+        assert "direct2" in out
+
+    def test_table_commands_parse(self):
+        parser = build_parser()
+        args3 = parser.parse_args(["table3", "--max-resolution", "1"])
+        assert args3.func.__name__ == "cmd_table3"
+        args4 = parser.parse_args(["table4", "--top-k", "2"])
+        assert args4.func.__name__ == "cmd_table4"

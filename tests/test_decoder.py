@@ -1,0 +1,142 @@
+"""Tests for the classic Viterbi decoder."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ConfigurationError
+from repro.viterbi import (
+    AWGNChannel,
+    AdaptiveQuantizer,
+    BranchMetricTable,
+    ConvolutionalEncoder,
+    HardQuantizer,
+    Trellis,
+    ViterbiDecoder,
+    bpsk_modulate,
+)
+
+
+def _noiseless(encoder, bits):
+    return bpsk_modulate(encoder.encode(bits))
+
+
+class TestBranchMetrics:
+    def test_hard_metric_is_hamming_distance(self, trellis_k3):
+        table = BranchMetricTable(trellis_k3, HardQuantizer())
+        # Received levels (1, 1) == symbols (0, 0).
+        metrics = table.compute(np.array([1, 1]))
+        for state in range(4):
+            for slot in range(2):
+                expected = int(trellis_k3.branch_symbols[state, slot].sum())
+                assert metrics[state, slot] == expected
+
+    def test_soft_metric_range(self, trellis_k5):
+        table = BranchMetricTable(trellis_k5, AdaptiveQuantizer(3))
+        assert table.max_branch_metric == 14
+        metrics = table.compute(np.array([0, 7]))
+        assert metrics.min() >= 0
+        assert metrics.max() <= 14
+
+    def test_compute_for_states_matches_full(self, trellis_k5):
+        table = BranchMetricTable(trellis_k5, AdaptiveQuantizer(3))
+        levels = np.array([[3, 5], [1, 6]])
+        states = np.array([[0, 7, 11], [2, 3, 15]])
+        subset = table.compute_for_states(levels, states)
+        full = table.compute(levels)
+        for frame in range(2):
+            for j, state in enumerate(states[frame]):
+                assert np.array_equal(subset[frame, j], full[frame, state])
+
+
+class TestDecoder:
+    @pytest.mark.parametrize("k", [3, 5, 7])
+    def test_noiseless_round_trip(self, k, rng):
+        encoder = ConvolutionalEncoder(k)
+        decoder = ViterbiDecoder(
+            Trellis.from_encoder(encoder), HardQuantizer(), traceback_depth=5 * k
+        )
+        bits = rng.integers(0, 2, size=300, dtype=np.int8)
+        decoded = decoder.decode(_noiseless(encoder, bits), sigma=0.1)
+        assert np.array_equal(decoded, bits)
+
+    def test_noiseless_round_trip_soft(self, encoder_k5, trellis_k5, rng):
+        decoder = ViterbiDecoder(trellis_k5, AdaptiveQuantizer(3), 25)
+        bits = rng.integers(0, 2, size=200, dtype=np.int8)
+        decoded = decoder.decode(_noiseless(encoder_k5, bits), sigma=0.4)
+        assert np.array_equal(decoded, bits)
+
+    def test_batch_matches_per_frame(self, encoder_k3, trellis_k3, rng):
+        decoder = ViterbiDecoder(trellis_k3, HardQuantizer(), 15)
+        bits = rng.integers(0, 2, size=(4, 120), dtype=np.int8)
+        received = _noiseless(encoder_k3, bits) + rng.normal(
+            0, 0.5, size=(4, 120, 2)
+        )
+        batch = decoder.decode(received, sigma=0.5)
+        for i in range(4):
+            single = decoder.decode(received[i], sigma=0.5)
+            assert np.array_equal(batch[i], single)
+
+    def test_corrects_isolated_symbol_errors(self, encoder_k5, trellis_k5, rng):
+        decoder = ViterbiDecoder(trellis_k5, HardQuantizer(), 30)
+        bits = rng.integers(0, 2, size=200, dtype=np.int8)
+        received = _noiseless(encoder_k5, bits)
+        # Flip a few well-separated channel symbols.
+        for position in (20, 80, 150):
+            received[position, 0] *= -1.0
+        decoded = decoder.decode(received, sigma=0.1)
+        assert np.array_equal(decoded, bits)
+
+    def test_short_traceback_hurts_ber(self, encoder_k5, trellis_k5):
+        """The paper's L observation: deep trace-back decodes better."""
+        channel = AWGNChannel(1.0)
+        rng = np.random.default_rng(0)
+        bits = rng.integers(0, 2, size=(24, 256), dtype=np.int8)
+        received = channel.transmit(encoder_k5.encode(bits), rng)
+        shallow = ViterbiDecoder(trellis_k5, HardQuantizer(), 5)
+        deep = ViterbiDecoder(trellis_k5, HardQuantizer(), 35)
+        errors_shallow = np.count_nonzero(
+            shallow.decode(received, channel.sigma) != bits
+        )
+        errors_deep = np.count_nonzero(
+            deep.decode(received, channel.sigma) != bits
+        )
+        assert errors_deep < errors_shallow
+
+    def test_frame_shorter_than_traceback(self, encoder_k3, trellis_k3, rng):
+        decoder = ViterbiDecoder(trellis_k3, HardQuantizer(), 64)
+        bits = rng.integers(0, 2, size=20, dtype=np.int8)
+        decoded = decoder.decode(_noiseless(encoder_k3, bits), sigma=0.1)
+        assert np.array_equal(decoded, bits)
+
+    def test_rejects_bad_shapes(self, trellis_k3):
+        decoder = ViterbiDecoder(trellis_k3, HardQuantizer(), 10)
+        with pytest.raises(ConfigurationError):
+            decoder.decode(np.zeros((10, 3)))  # 3 symbols for a rate-1/2 code
+
+    def test_rejects_bad_depth(self, trellis_k3):
+        with pytest.raises(ConfigurationError):
+            ViterbiDecoder(trellis_k3, HardQuantizer(), 0)
+
+    def test_describe(self, trellis_k5):
+        decoder = ViterbiDecoder(trellis_k5, AdaptiveQuantizer(3), 25)
+        assert "K=5" in decoder.describe()
+        assert "L=25" in decoder.describe()
+
+    @given(st.integers(2, 7), st.integers(30, 120))
+    @settings(max_examples=15, deadline=None)
+    def test_noiseless_exact_any_code(self, k, length):
+        """Property: with no noise, decoding inverts encoding exactly."""
+        try:
+            encoder = ConvolutionalEncoder(k)
+        except Exception:
+            return
+        decoder = ViterbiDecoder(
+            Trellis.from_encoder(encoder), HardQuantizer(), 5 * k
+        )
+        rng = np.random.default_rng(k * 31 + length)
+        bits = rng.integers(0, 2, size=length, dtype=np.int8)
+        decoded = decoder.decode(_noiseless(encoder, bits), sigma=0.1)
+        assert np.array_equal(decoded, bits)

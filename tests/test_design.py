@@ -1,0 +1,188 @@
+"""Tests for digital IIR filter design (all four families)."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from scipy import signal
+
+from repro.errors import FilterDesignError
+from repro.iir.design import (
+    BandpassSpec,
+    FILTER_FAMILIES,
+    LowpassSpec,
+    butterworth_prototype,
+    chebyshev1_prototype,
+    design_filter,
+    elliptic_prototype,
+    lp_to_bp,
+    paper_bandpass_spec,
+    required_order,
+    ripples_to_db,
+)
+from repro.iir.transfer import measure_bands
+
+
+@pytest.fixture(scope="module")
+def lowpass_spec():
+    return LowpassSpec(0.3 * math.pi, 0.4 * math.pi, 0.02, 0.01)
+
+
+class TestSpecs:
+    def test_lowpass_rejects_bad_edges(self):
+        with pytest.raises(FilterDesignError):
+            LowpassSpec(0.5 * math.pi, 0.4 * math.pi, 0.02, 0.01)
+
+    def test_bandpass_rejects_bad_ordering(self):
+        with pytest.raises(FilterDesignError):
+            BandpassSpec(0.3, 0.5, 0.4, 0.6, 0.02, 0.01)
+
+    def test_ripple_bounds(self):
+        with pytest.raises(FilterDesignError):
+            LowpassSpec(0.3, 0.4, 0.0, 0.01)
+        with pytest.raises(FilterDesignError):
+            LowpassSpec(0.3, 0.4, 0.02, 1.5)
+
+    def test_paper_spec_values(self):
+        spec = paper_bandpass_spec()
+        assert spec.passband_low == pytest.approx(0.411111 * math.pi)
+        assert spec.passband_ripple == pytest.approx(0.015782)
+
+    def test_ripples_to_db(self):
+        rp, rs = ripples_to_db(0.1, 0.01)
+        assert rp == pytest.approx(-20 * math.log10(0.9))
+        assert rs == pytest.approx(40.0)
+
+
+class TestOrderEstimation:
+    def test_elliptic_matches_scipy_bandpass(self):
+        spec = paper_bandpass_spec()
+        rp, rs = ripples_to_db(spec.passband_ripple, spec.stopband_ripple)
+        wp = [spec.passband_low / math.pi, spec.passband_high / math.pi]
+        ws = [spec.stopband_low / math.pi, spec.stopband_high / math.pi]
+        scipy_n, _ = signal.ellipord(wp, ws, rp, rs)
+        ours = design_filter(spec, "elliptic").order
+        assert ours == scipy_n
+
+    def test_ordering_of_families(self, lowpass_spec):
+        orders = {
+            family: design_filter(lowpass_spec, family).order
+            for family in FILTER_FAMILIES
+        }
+        assert orders["elliptic"] <= orders["chebyshev1"]
+        assert orders["chebyshev1"] <= orders["butterworth"]
+
+    def test_required_order_monotone_in_selectivity(self):
+        loose = required_order("butterworth", 2.0, 0.2, 40.0)
+        tight = required_order("butterworth", 1.1, 0.2, 40.0)
+        assert tight > loose
+
+    def test_required_order_rejects_bad_selectivity(self):
+        with pytest.raises(FilterDesignError):
+            required_order("butterworth", 0.9, 0.2, 40.0)
+
+    def test_unknown_family(self):
+        with pytest.raises(FilterDesignError):
+            required_order("bessel", 2.0, 0.2, 40.0)
+
+
+class TestPrototypes:
+    def test_butterworth_poles_left_half_plane(self):
+        zpk = butterworth_prototype(5, 0.2)
+        assert all(p.real < 0 for p in zpk.poles)
+
+    def test_chebyshev_gain_at_dc(self):
+        # Odd order: |H(0)| = 1; even order: 1/sqrt(1+eps^2).
+        odd = chebyshev1_prototype(5, 1.0)
+        gain_odd = abs(
+            odd.gain
+            * np.prod([-z for z in odd.zeros])
+            / np.prod([-p for p in odd.poles])
+        ) if odd.zeros else abs(odd.gain / np.prod([-p for p in odd.poles]))
+        assert gain_odd == pytest.approx(1.0, rel=1e-9)
+
+    def test_elliptic_prototype_matches_scipy(self):
+        ours = elliptic_prototype(4, 0.5, 40.0)
+        z, p, k = signal.ellipap(4, 0.5, 40.0)
+        assert sorted(abs(x) for x in ours.poles) == pytest.approx(
+            sorted(abs(x) for x in p), rel=1e-6
+        )
+        assert sorted(abs(x) for x in ours.zeros) == pytest.approx(
+            sorted(abs(x) for x in z), rel=1e-6
+        )
+        assert ours.gain == pytest.approx(k, rel=1e-6)
+
+    def test_elliptic_order_one(self):
+        zpk = elliptic_prototype(1, 0.5, 40.0)
+        assert len(zpk.poles) == 1 and not zpk.zeros
+
+
+class TestDesignMeetsSpec:
+    @pytest.mark.parametrize("family", FILTER_FAMILIES)
+    def test_lowpass_meets_spec(self, lowpass_spec, family):
+        tf = design_filter(lowpass_spec, family).to_tf()
+        assert tf.is_stable()
+        measurement = measure_bands(
+            tf, lowpass_spec.passbands, lowpass_spec.stopbands
+        )
+        assert measurement.passband_ripple <= lowpass_spec.passband_ripple * 1.05
+        assert measurement.stopband_level <= lowpass_spec.stopband_ripple * 1.05
+
+    @pytest.mark.parametrize("family", FILTER_FAMILIES)
+    def test_paper_bandpass_meets_spec(self, family):
+        spec = paper_bandpass_spec()
+        tf = design_filter(spec, family).to_tf()
+        assert tf.is_stable()
+        measurement = measure_bands(tf, spec.passbands, spec.stopbands)
+        assert measurement.passband_ripple <= spec.passband_ripple * 1.05
+        assert measurement.stopband_level <= spec.stopband_ripple * 1.05
+
+    def test_bandpass_digital_order_doubles(self):
+        spec = paper_bandpass_spec()
+        designed = design_filter(spec, "elliptic")
+        assert designed.to_tf().order == 2 * designed.order
+
+    def test_over_design_with_explicit_order(self):
+        spec = paper_bandpass_spec()
+        bigger = design_filter(spec, "elliptic", order=6)
+        assert bigger.order == 6
+        tf = bigger.to_tf()
+        measurement = measure_bands(tf, spec.passbands, spec.stopbands)
+        assert measurement.stopband_level <= spec.stopband_ripple * 1.05
+
+    def test_elliptic_matches_scipy_response(self):
+        """Full design path against scipy.signal.ellip (same order)."""
+        spec = paper_bandpass_spec()
+        rp, rs = ripples_to_db(spec.passband_ripple, spec.stopband_ripple)
+        ours = design_filter(spec, "elliptic").to_tf()
+        b, a = signal.ellip(
+            4,
+            rp,
+            rs,
+            [spec.passband_low / math.pi, spec.passband_high / math.pi],
+            btype="bandpass",
+        )
+        omega = np.linspace(0.05, math.pi - 0.05, 256)
+        ours_mag = ours.magnitude(omega)
+        _, h = signal.freqz(b, a, worN=omega)
+        # Same family/order/spec: responses agree closely everywhere.
+        assert np.max(np.abs(ours_mag - np.abs(h))) < 5e-3
+
+
+class TestTransforms:
+    def test_lp_to_bp_doubles_order(self):
+        prototype = butterworth_prototype(3, 0.2)
+        bp = lp_to_bp(prototype, center=1.0, bandwidth=0.3)
+        assert len(bp.poles) == 6
+        assert len(bp.zeros) == 3  # added zeros at s = 0
+
+    def test_lp_to_bp_center_maps_to_passband(self):
+        prototype = butterworth_prototype(3, 0.2)
+        bp = lp_to_bp(prototype, center=2.0, bandwidth=0.5)
+        # |H(j w0)| equals the prototype's DC gain magnitude.
+        s = 2.0j
+        num = np.prod([s - z for z in bp.zeros]) if bp.zeros else 1.0
+        den = np.prod([s - p for p in bp.poles])
+        assert abs(bp.gain * num / den) == pytest.approx(1.0, rel=1e-6)

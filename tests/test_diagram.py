@@ -1,0 +1,56 @@
+"""Tests for the encoder/trellis diagram renderers (Figs. 2 and 3)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.viterbi import (
+    ConvolutionalEncoder,
+    encoder_diagram,
+    trellis_section_diagram,
+)
+
+
+class TestEncoderDiagram:
+    def test_mentions_code_parameters(self, encoder_k3):
+        text = encoder_diagram(encoder_k3)
+        assert "K=3" in text
+        assert "G=(7,5)" in text
+
+    def test_one_row_per_polynomial(self, encoder_k5):
+        text = encoder_diagram(encoder_k5)
+        assert text.count("--XOR-->") == encoder_k5.n_outputs
+
+    def test_tap_counts_match_popcount(self, encoder_k3):
+        text = encoder_diagram(encoder_k3)
+        rows = [line for line in text.splitlines() if "XOR" in line]
+        for row, poly in zip(rows, encoder_k3.polynomials):
+            assert row.count("x") == bin(poly).count("1")
+
+    def test_register_stages(self):
+        encoder = ConvolutionalEncoder(7)
+        text = encoder_diagram(encoder)
+        for stage in ("u", "R1", "R6"):
+            assert stage in text
+
+
+class TestTrellisDiagram:
+    def test_all_branches_listed(self, encoder_k3):
+        text = trellis_section_diagram(encoder_k3)
+        branch_lines = [line for line in text.splitlines() if "/" in line]
+        assert len(branch_lines) == 2 * encoder_k3.n_states
+
+    def test_fig3_symbols(self, encoder_k3):
+        """Spot-check branch labels of the paper's 4-state trellis."""
+        text = trellis_section_diagram(encoder_k3)
+        assert "00 ----[1/11]----> 10" in text
+        assert "01 - - [0/11]- - > 00" in text
+
+    def test_solid_vs_dashed_convention(self, encoder_k3):
+        """Input 1 draws solid, input 0 dashed — as in the paper."""
+        text = trellis_section_diagram(encoder_k3)
+        for line in text.splitlines():
+            if "[1/" in line:
+                assert "----" in line
+            if "[0/" in line:
+                assert "- - " in line

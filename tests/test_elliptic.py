@@ -1,0 +1,130 @@
+"""Tests for the from-scratch Jacobi elliptic function machinery."""
+
+from __future__ import annotations
+
+import cmath
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+from scipy import special
+
+from repro.errors import FilterDesignError
+from repro.iir.elliptic import (
+    acde,
+    asne,
+    cde,
+    ellipdeg,
+    ellipk,
+    ellipk_complement,
+    landen_sequence,
+    modulus_from_nome,
+    nome,
+    sne,
+)
+
+
+class TestEllipk:
+    def test_k_zero_is_pi_half(self):
+        assert ellipk(0.0) == pytest.approx(math.pi / 2)
+
+    @given(st.floats(0.0, 0.999))
+    @settings(max_examples=50, deadline=None)
+    def test_matches_scipy(self, k):
+        # scipy's ellipk takes the parameter m = k^2.
+        assert ellipk(k) == pytest.approx(special.ellipk(k * k), rel=1e-10)
+
+    def test_complement(self):
+        k = 0.6
+        kp = math.sqrt(1 - k * k)
+        assert ellipk_complement(k) == pytest.approx(ellipk(kp))
+
+    def test_rejects_bad_modulus(self):
+        with pytest.raises(FilterDesignError):
+            ellipk(1.0)
+        with pytest.raises(FilterDesignError):
+            ellipk(-0.1)
+
+
+class TestLanden:
+    def test_sequence_decreases_fast(self):
+        seq = landen_sequence(0.99)
+        assert all(b < a for a, b in zip(seq, seq[1:]))
+        assert seq[-1] < 1e-12
+
+
+class TestJacobiFunctions:
+    @given(st.floats(0.01, 0.99), st.floats(-0.99, 0.99))
+    @settings(max_examples=60, deadline=None)
+    def test_cde_matches_scipy(self, k, u):
+        """cd(u K, k) against scipy.special.ellipj."""
+        big_k = ellipk(k)
+        _, cn, dn, _ = special.ellipj(u * big_k, k * k)
+        expected = cn / dn
+        assert cde(u, k).real == pytest.approx(expected, abs=1e-8)
+
+    @given(st.floats(0.01, 0.99), st.floats(-0.99, 0.99))
+    @settings(max_examples=60, deadline=None)
+    def test_sne_matches_scipy(self, k, u):
+        big_k = ellipk(k)
+        sn, _, _, _ = special.ellipj(u * big_k, k * k)
+        assert sne(u, k).real == pytest.approx(sn, abs=1e-8)
+
+    def test_cde_at_zero_and_one(self):
+        assert cde(0.0, 0.5).real == pytest.approx(1.0)
+        assert abs(cde(1.0, 0.5)) < 1e-12  # cd(K) = 0
+
+    @given(st.floats(0.05, 0.95), st.floats(0.05, 0.95))
+    @settings(max_examples=60, deadline=None)
+    def test_acde_inverts_cde(self, k, u):
+        w = cde(u, k)
+        recovered = acde(w, k)
+        assert recovered.real == pytest.approx(u, abs=1e-6)
+
+    @given(st.floats(0.05, 0.95), st.floats(0.05, 0.95))
+    @settings(max_examples=40, deadline=None)
+    def test_asne_inverts_sne(self, k, u):
+        w = sne(u, k)
+        recovered = asne(w, k)
+        assert recovered.real == pytest.approx(u, abs=1e-6)
+
+    def test_cde_complex_argument(self):
+        """cd of a complex argument is finite and inverts."""
+        value = cde(0.3 - 0.2j, 0.7)
+        assert cmath.isfinite(value)
+
+
+class TestNome:
+    @given(st.floats(0.01, 0.99))
+    @settings(max_examples=50, deadline=None)
+    def test_modulus_nome_round_trip(self, k):
+        assert modulus_from_nome(nome(k)) == pytest.approx(k, abs=1e-9)
+
+    def test_nome_zero(self):
+        assert nome(0.0) == 0.0
+        assert modulus_from_nome(0.0) == 0.0
+
+
+class TestDegreeEquation:
+    @given(st.integers(1, 8), st.floats(1e-4, 0.5))
+    @settings(max_examples=40, deadline=None)
+    def test_degree_equation_satisfied(self, n, k1):
+        # Practical filter orders; at large n the solution modulus sits
+        # within 1e-12 of 1 where verifying through K/K' is itself
+        # ill-conditioned, hence the modest tolerance.
+        k = ellipdeg(n, k1)
+        if k == 0.0:
+            return
+        lhs = n * ellipk_complement(k) / ellipk(k)
+        rhs = ellipk_complement(k1) / ellipk(k1)
+        assert lhs == pytest.approx(rhs, rel=1e-4)
+
+    def test_higher_order_sharper_transition(self):
+        k1 = 0.01
+        k_low = ellipdeg(4, k1)
+        k_high = ellipdeg(8, k1)
+        assert k_high > k_low  # selectivity approaches 1
+
+    def test_rejects_bad_order(self):
+        with pytest.raises(FilterDesignError):
+            ellipdeg(0, 0.5)

@@ -1,0 +1,126 @@
+"""Tests for the convolutional encoder (paper Fig. 2)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ConfigurationError
+from repro.viterbi import ConvolutionalEncoder
+from repro.viterbi.polynomials import (
+    BEST_RATE_HALF,
+    default_polynomials,
+    parse_octal,
+    to_octal,
+    validate_polynomials,
+)
+
+
+class TestPolynomials:
+    def test_parse_octal(self):
+        assert parse_octal("171") == 0o171
+        assert parse_octal("7") == 7
+
+    def test_parse_octal_rejects_garbage(self):
+        with pytest.raises(ConfigurationError):
+            parse_octal("8")
+
+    def test_to_octal_round_trip(self):
+        for poly in (0o7, 0o35, 0o171):
+            assert parse_octal(to_octal(poly)) == poly
+
+    def test_default_polynomials_paper_values(self):
+        # The exact generators of the paper's Table 3.
+        assert default_polynomials(3) == (0o7, 0o5)
+        assert default_polynomials(5) == (0o35, 0o23)
+        assert default_polynomials(7) == (0o171, 0o133)
+
+    def test_default_polynomials_rate_third(self):
+        assert len(default_polynomials(5, rate_inverse=3)) == 3
+
+    def test_default_polynomials_unknown_k(self):
+        with pytest.raises(ConfigurationError):
+            default_polynomials(2)
+
+    def test_validate_rejects_oversized(self):
+        with pytest.raises(ConfigurationError):
+            validate_polynomials((0o17,), constraint_length=3)
+
+    def test_validate_rejects_no_input_tap(self):
+        with pytest.raises(ConfigurationError):
+            validate_polynomials((0b011, 0b001), constraint_length=3)
+
+    def test_validate_rejects_empty(self):
+        with pytest.raises(ConfigurationError):
+            validate_polynomials((), constraint_length=3)
+
+
+class TestEncoder:
+    def test_figure2_reference_sequence(self):
+        """Hand-computed symbols of the K=3, G=(7,5) encoder of Fig. 2."""
+        encoder = ConvolutionalEncoder(3)
+        bits = np.array([1, 0, 1, 1], dtype=np.int8)
+        symbols = encoder.encode(bits)
+        # register (current, prev1, prev2): outputs (x^2+x+1, x^2+1).
+        expected = np.array(
+            [[1, 1], [1, 0], [0, 0], [0, 1]], dtype=np.int8
+        )
+        assert np.array_equal(symbols, expected)
+
+    def test_rate_and_states(self, encoder_k5):
+        assert encoder_k5.rate == 0.5
+        assert encoder_k5.n_states == 16
+
+    def test_zero_input_zero_output(self, encoder_k3):
+        bits = np.zeros(32, dtype=np.int8)
+        assert not encoder_k3.encode(bits).any()
+
+    def test_batch_matches_single(self, encoder_k5, rng):
+        frames = rng.integers(0, 2, size=(5, 40), dtype=np.int8)
+        batch = encoder_k5.encode(frames)
+        for i in range(5):
+            assert np.array_equal(batch[i], encoder_k5.encode(frames[i]))
+
+    def test_encode_rejects_non_binary(self, encoder_k3):
+        with pytest.raises(ConfigurationError):
+            encoder_k3.encode(np.array([0, 1, 2]))
+
+    def test_encode_rejects_3d(self, encoder_k3):
+        with pytest.raises(ConfigurationError):
+            encoder_k3.encode(np.zeros((2, 2, 2), dtype=np.int8))
+
+    def test_encode_bad_initial_state(self, encoder_k3):
+        with pytest.raises(ConfigurationError):
+            encoder_k3.encode(np.array([1, 0]), initial_state=4)
+
+    def test_terminate_returns_to_zero(self, encoder_k5, rng):
+        bits = rng.integers(0, 2, size=30, dtype=np.int8)
+        flushed = encoder_k5.terminate(bits)
+        state = 0
+        for bit in flushed:
+            state = encoder_k5.next_state(state, int(bit))
+        assert state == 0
+
+    def test_next_state_convention(self, encoder_k3):
+        # next = (u << (K-2)) | (s >> 1)
+        assert encoder_k3.next_state(0b00, 1) == 0b10
+        assert encoder_k3.next_state(0b10, 0) == 0b01
+        assert encoder_k3.next_state(0b11, 1) == 0b11
+
+    @given(st.integers(2, 8), st.integers(1, 200))
+    @settings(max_examples=20, deadline=None)
+    def test_linearity_over_gf2(self, k, length):
+        """Convolutional codes are linear: enc(a^b) = enc(a)^enc(b)."""
+        try:
+            encoder = ConvolutionalEncoder(k)
+        except ConfigurationError:
+            return
+        rng = np.random.default_rng(k * 1000 + length)
+        a = rng.integers(0, 2, size=length, dtype=np.int8)
+        b = rng.integers(0, 2, size=length, dtype=np.int8)
+        combined = encoder.encode(a ^ b)
+        assert np.array_equal(combined, encoder.encode(a) ^ encoder.encode(b))
+
+    def test_repr_mentions_octal(self, encoder_k5):
+        assert "35,23" in repr(encoder_k5)

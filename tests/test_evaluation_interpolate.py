@@ -1,0 +1,173 @@
+"""Tests for the evaluation engine, interpolation, and Pareto tools."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import (
+    CachingEvaluator,
+    DesignSpace,
+    DiscreteParameter,
+    EvaluationLog,
+    EvaluationRecord,
+    FunctionEvaluator,
+    MetricInterpolator,
+    Objective,
+    dominates,
+    idw_interpolate,
+    pareto_front,
+    point_coordinates,
+)
+from repro.errors import DesignSpaceError
+
+
+class TestCachingEvaluator:
+    def _counting_evaluator(self):
+        calls = []
+
+        def func(point, fidelity):
+            calls.append((dict(point), fidelity))
+            return {"value": float(point["x"]) * (fidelity + 1)}
+
+        return FunctionEvaluator(func, max_fidelity=3), calls
+
+    def test_caches_same_fidelity(self):
+        inner, calls = self._counting_evaluator()
+        evaluator = CachingEvaluator(inner)
+        evaluator.evaluate({"x": 1}, 1)
+        evaluator.evaluate({"x": 1}, 1)
+        assert len(calls) == 1
+
+    def test_higher_fidelity_answers_lower_requests(self):
+        inner, calls = self._counting_evaluator()
+        evaluator = CachingEvaluator(inner)
+        high = evaluator.evaluate({"x": 1}, 2)
+        low = evaluator.evaluate({"x": 1}, 0)
+        assert len(calls) == 1
+        assert low == high
+
+    def test_lower_fidelity_upgraded(self):
+        inner, calls = self._counting_evaluator()
+        evaluator = CachingEvaluator(inner)
+        evaluator.evaluate({"x": 1}, 0)
+        evaluator.evaluate({"x": 1}, 2)
+        assert len(calls) == 2
+
+    def test_log_records_everything(self):
+        inner, _ = self._counting_evaluator()
+        log = EvaluationLog()
+        evaluator = CachingEvaluator(inner, log)
+        evaluator.evaluate({"x": 1}, 0)
+        evaluator.evaluate({"x": 2}, 1)
+        assert log.n_evaluations == 2
+        assert log.by_fidelity() == {0: 1, 1: 1}
+        assert log.unique_points() == 2
+        assert log.total_time_s >= 0.0
+
+
+class TestEvaluationRecord:
+    def test_round_trip_point(self):
+        record = EvaluationRecord(
+            point=(("a", 1), ("b", 2)), fidelity=1, metrics={"m": 3.0}
+        )
+        assert record.as_point() == {"a": 1, "b": 2}
+
+    def test_str_readable(self):
+        record = EvaluationRecord(
+            point=(("a", 1),), fidelity=2, metrics={"m": 3.0}
+        )
+        assert "fid 2" in str(record) and "a=1" in str(record)
+
+
+class TestInterpolation:
+    def test_exact_at_samples(self):
+        coords = np.array([[0.0, 0.0], [1.0, 1.0]])
+        assert idw_interpolate(coords, [5.0, 9.0], np.array([1.0, 1.0])) == 9.0
+
+    def test_bounded_by_samples(self):
+        coords = np.array([[0.0], [1.0]])
+        value = idw_interpolate(coords, [2.0, 10.0], np.array([0.3]))
+        assert 2.0 <= value <= 10.0
+
+    def test_rejects_empty(self):
+        with pytest.raises(DesignSpaceError):
+            idw_interpolate(np.zeros((0, 2)), [], np.array([0.0, 0.0]))
+
+    @given(
+        st.lists(
+            st.tuples(st.floats(0, 1), st.floats(0, 100)),
+            min_size=1,
+            max_size=10,
+        ),
+        st.floats(0, 1),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_idw_always_within_range(self, samples, query):
+        coords = np.array([[s[0]] for s in samples])
+        values = [s[1] for s in samples]
+        result = idw_interpolate(coords, values, np.array([query]))
+        assert min(values) - 1e-9 <= result <= max(values) + 1e-9
+
+    def test_point_coordinates_normalized(self):
+        space = DesignSpace(
+            [DiscreteParameter("a", (10, 20, 30)), DiscreteParameter("b", (1,))]
+        )
+        coords = point_coordinates(space, {"a": 30, "b": 1})
+        assert coords.tolist() == [1.0, 0.0]
+
+    def test_metric_interpolator(self):
+        space = DesignSpace([DiscreteParameter("a", (1, 2, 3))])
+        interp = MetricInterpolator(space)
+        interp.add({"a": 1}, 10.0)
+        interp.add({"a": 3}, 30.0)
+        assert interp.n_samples == 2
+        middle = interp.estimate({"a": 2})
+        assert 10.0 < middle < 30.0
+
+    def test_metric_interpolator_skips_inf(self):
+        space = DesignSpace([DiscreteParameter("a", (1, 2))])
+        interp = MetricInterpolator(space)
+        interp.add({"a": 1}, math.inf)
+        assert interp.n_samples == 0
+
+
+class TestPareto:
+    def _records(self):
+        return [
+            EvaluationRecord((("x", i),), 0, {"area": a, "ber": b})
+            for i, (a, b) in enumerate(
+                [(1.0, 0.5), (2.0, 0.1), (3.0, 0.05), (2.5, 0.2), (4.0, 0.4)]
+            )
+        ]
+
+    def test_dominates(self):
+        objectives = [Objective("area"), Objective("ber")]
+        assert dominates({"area": 1, "ber": 1}, {"area": 2, "ber": 2}, objectives)
+        assert not dominates(
+            {"area": 1, "ber": 3}, {"area": 2, "ber": 2}, objectives
+        )
+
+    def test_dominates_requires_strict_improvement(self):
+        objectives = [Objective("area")]
+        assert not dominates({"area": 1}, {"area": 1}, objectives)
+
+    def test_front_contents(self):
+        objectives = [Objective("area"), Objective("ber")]
+        front = pareto_front(self._records(), objectives)
+        areas = [r.metrics["area"] for r in front]
+        # (2.5, 0.2) is dominated by (2.0, 0.1); (4.0, 0.4) by (2.0, 0.1).
+        assert areas == [1.0, 2.0, 3.0]
+
+    def test_front_deduplicates_points(self):
+        objectives = [Objective("area")]
+        records = [
+            EvaluationRecord((("x", 1),), 0, {"area": 5.0}),
+            EvaluationRecord((("x", 1),), 1, {"area": 3.0}),
+        ]
+        front = pareto_front(records, objectives)
+        assert len(front) == 1
+        assert front[0].metrics["area"] == 3.0

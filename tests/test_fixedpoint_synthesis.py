@@ -1,0 +1,174 @@
+"""Tests for fixed-point verification and the HYPER-style estimator."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.errors import ConfigurationError, SynthesisError
+from repro.hardware.synthesis import (
+    add_delay_ns,
+    estimate_iir_implementation,
+    mult_delay_ns,
+)
+from repro.iir.design import BandpassSpec, design_filter, paper_bandpass_spec
+from repro.iir.fixedpoint import (
+    check_quantized,
+    minimum_word_length,
+)
+from repro.iir.structures import realize
+from repro.iir.structures.base import DataflowStats
+
+
+@pytest.fixture(scope="module")
+def margin_realizations():
+    spec = paper_bandpass_spec()
+    margin = BandpassSpec(
+        spec.passband_low, spec.passband_high,
+        spec.stopband_low, spec.stopband_high,
+        0.6 * spec.passband_ripple, 0.6 * spec.stopband_ripple,
+    )
+    tf = design_filter(margin, "elliptic").to_tf()
+    return spec, tf
+
+
+class TestFixedPointChecks:
+    def test_report_meets_at_high_word(self, margin_realizations):
+        spec, tf = margin_realizations
+        report = check_quantized(realize("cascade", tf), spec, 20)
+        assert report.meets(spec)
+        assert report.violation(spec) == 0.0
+
+    def test_report_fails_at_low_word(self, margin_realizations):
+        spec, tf = margin_realizations
+        report = check_quantized(realize("cascade", tf), spec, 6)
+        assert not report.meets(spec)
+        assert report.violation(spec) > 0.0 or not report.stable
+
+    def test_unstable_is_infinite_violation(self, margin_realizations):
+        spec, tf = margin_realizations
+        report = check_quantized(realize("direct2", tf), spec, 8)
+        assert not report.stable
+        assert math.isinf(report.violation(spec))
+
+    def test_minimum_word_length_monotone(self, margin_realizations):
+        """Once a word length works, every longer one must work."""
+        spec, tf = margin_realizations
+        realization = realize("cascade", tf)
+        minimum = minimum_word_length(realization, spec)
+        assert minimum is not None
+        for extra in (1, 3, 6):
+            assert check_quantized(realization, spec, minimum + extra).meets(spec)
+
+    def test_minimum_word_length_none_when_impossible(self, margin_realizations):
+        spec, tf = margin_realizations
+        assert minimum_word_length(realize("direct2", tf), spec, 10) is None
+
+    def test_ladder_needs_fewer_bits_than_cascade(self, margin_realizations):
+        spec, tf = margin_realizations
+        ladder = minimum_word_length(realize("ladder", tf), spec)
+        cascade = minimum_word_length(realize("cascade", tf), spec)
+        assert ladder is not None and cascade is not None
+        assert ladder <= cascade
+
+
+class TestSynthesisEstimator:
+    def _stats(self, **overrides) -> DataflowStats:
+        defaults = dict(
+            multiplies=20, additions=16, delays=8,
+            loop_multiplies=1, loop_additions=2,
+        )
+        defaults.update(overrides)
+        return DataflowStats(**defaults)
+
+    def test_delays_grow_with_word_length(self):
+        assert mult_delay_ns(16) > mult_delay_ns(8)
+        assert add_delay_ns(16) > add_delay_ns(8)
+
+    def test_relaxed_period_single_units(self):
+        estimate = estimate_iir_implementation(self._stats(), 12, 5.0)
+        assert estimate.n_multipliers == 1
+        assert estimate.n_adders == 1
+
+    def test_tight_period_more_units(self):
+        loose = estimate_iir_implementation(self._stats(), 12, 5.0)
+        tight = estimate_iir_implementation(self._stats(), 12, 0.25)
+        assert tight.n_multipliers > loose.n_multipliers
+        assert tight.area_mm2 > loose.area_mm2
+
+    def test_area_grows_with_word_length(self):
+        narrow = estimate_iir_implementation(self._stats(), 8, 1.0)
+        wide = estimate_iir_implementation(self._stats(), 20, 1.0)
+        assert wide.area_mm2 > narrow.area_mm2
+
+    def test_recursion_bound_infeasible(self):
+        serial = self._stats(loop_multiplies=16, loop_additions=16)
+        with pytest.raises(SynthesisError):
+            estimate_iir_implementation(serial, 12, 0.25)
+
+    def test_recursion_bound_feasible_when_slow(self):
+        serial = self._stats(loop_multiplies=16, loop_additions=16)
+        estimate = estimate_iir_implementation(serial, 12, 5.0)
+        assert estimate.area_mm2 > 0
+
+    def test_clock_longer_than_sample_rejected(self):
+        with pytest.raises(SynthesisError):
+            estimate_iir_implementation(self._stats(), 24, 0.01)
+
+    def test_chain_local_cheaper_at_many_units(self):
+        local = self._stats(chain_local=True)
+        globl = self._stats(chain_local=False)
+        a_local = estimate_iir_implementation(local, 12, 0.25)
+        a_global = estimate_iir_implementation(globl, 12, 0.25)
+        assert a_local.area_mm2 < a_global.area_mm2
+
+    def test_chain_local_same_at_few_units(self):
+        local = self._stats(chain_local=True)
+        globl = self._stats(chain_local=False)
+        a_local = estimate_iir_implementation(local, 12, 5.0)
+        a_global = estimate_iir_implementation(globl, 12, 5.0)
+        assert a_local.area_mm2 == pytest.approx(a_global.area_mm2)
+
+    def test_rejects_invalid_inputs(self):
+        with pytest.raises(ConfigurationError):
+            estimate_iir_implementation(self._stats(), 3, 1.0)
+        with pytest.raises(ConfigurationError):
+            estimate_iir_implementation(self._stats(), 12, 0.0)
+
+    def test_throughput_property(self):
+        estimate = estimate_iir_implementation(self._stats(), 12, 2.0)
+        assert estimate.throughput_samples_per_s == pytest.approx(5e5)
+
+    def test_adder_only_datapath(self):
+        stats = self._stats(multiplies=0, loop_multiplies=0)
+        estimate = estimate_iir_implementation(stats, 12, 1.0)
+        assert estimate.n_multipliers == 0
+        assert estimate.clock_ns == pytest.approx(add_delay_ns(12))
+
+
+class TestLatency:
+    def _stats(self, **overrides):
+        defaults = dict(
+            multiplies=20, additions=16, delays=8,
+            loop_multiplies=1, loop_additions=2,
+        )
+        defaults.update(overrides)
+        return DataflowStats(**defaults)
+
+    def test_latency_positive_and_below_sample_period(self):
+        estimate = estimate_iir_implementation(self._stats(), 12, 2.0)
+        assert 0.0 < estimate.latency_us <= 2.0
+
+    def test_serial_structure_higher_latency(self):
+        short = estimate_iir_implementation(self._stats(), 12, 5.0)
+        serial = estimate_iir_implementation(
+            self._stats(loop_multiplies=16, loop_additions=16), 12, 5.0
+        )
+        assert serial.latency_us > short.latency_us
+
+    def test_latency_cycles_consistent(self):
+        estimate = estimate_iir_implementation(self._stats(), 12, 2.0)
+        assert estimate.latency_us == pytest.approx(
+            estimate.latency_cycles * estimate.clock_ns / 1000.0
+        )

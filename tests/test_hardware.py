@@ -1,0 +1,217 @@
+"""Tests for the hardware cost models (Trimaran/TR4101 stand-in)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ConfigurationError, SynthesisError
+from repro.hardware import (
+    LeveledProgram,
+    MachineConfig,
+    OperationCounts,
+    ViterbiInstanceParams,
+    clock_mhz,
+    data_path_factor,
+    estimate_area,
+    evaluate_machine,
+    feature_scale,
+    optimize_machine,
+    schedule,
+    throughput_bps,
+    viterbi_program,
+    width_speed_factor,
+)
+
+
+class TestOperationCounts:
+    def test_addition(self):
+        total = OperationCounts(alu=2, load=1) + OperationCounts(alu=3, store=4)
+        assert total.alu == 5 and total.load == 1 and total.store == 4
+
+    def test_scaled(self):
+        assert OperationCounts(alu=4).scaled(0.5).alu == 2
+
+    def test_memory_and_total(self):
+        counts = OperationCounts(alu=1, load=2, store=3, branch=4, mult=5)
+        assert counts.memory == 5
+        assert counts.total == 15
+
+
+class TestClockModel:
+    def test_anchor_point(self):
+        assert clock_mhz(0.35, 32) == pytest.approx(81.0)
+
+    def test_linear_feature_scaling(self):
+        assert clock_mhz(0.175, 32) == pytest.approx(162.0)
+
+    def test_width_speedup_mild(self):
+        assert 1.0 < width_speed_factor(8) < 1.25
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ConfigurationError):
+            clock_mhz(0.0)
+        with pytest.raises(ConfigurationError):
+            width_speed_factor(0)
+
+
+class TestAreaModel:
+    def test_quadratic_feature_scale(self):
+        assert feature_scale(0.35) == pytest.approx(1.0)
+        assert feature_scale(0.7) == pytest.approx(4.0)
+
+    def test_data_path_factor_bounds(self):
+        assert data_path_factor(32) == pytest.approx(1.0)
+        assert 0.25 <= data_path_factor(1) < 0.3
+
+    def test_area_monotone_in_alus(self):
+        small = estimate_area(1, 1, 16, 1000, 0.25).total
+        big = estimate_area(8, 1, 16, 1000, 0.25).total
+        assert big > small
+
+    def test_area_monotone_in_width(self):
+        narrow = estimate_area(2, 1, 8, 1000, 0.25).total
+        wide = estimate_area(2, 1, 32, 1000, 0.25).total
+        assert wide > narrow
+
+    def test_area_breakdown_sums(self):
+        breakdown = estimate_area(4, 2, 16, 2048, 0.25, n_mults=1)
+        parts = (
+            breakdown.control
+            + breakdown.alus
+            + breakdown.mults
+            + breakdown.bypass
+            + breakdown.mem_ports
+            + breakdown.regfile
+            + breakdown.storage
+        )
+        assert breakdown.total == pytest.approx(parts)
+
+    def test_rejects_invalid(self):
+        with pytest.raises(ConfigurationError):
+            estimate_area(0, 1, 16, 0, 0.25)
+        with pytest.raises(ConfigurationError):
+            estimate_area(1, 0, 16, 0, 0.25)
+
+
+class TestScheduler:
+    def _program(self) -> LeveledProgram:
+        program = LeveledProgram(name="test", datapath_width=16)
+        program.add_level("a", alu=8)
+        program.add_level("b", alu=4, load=2)
+        program.add_level("c", store=1, branch=1)
+        return program
+
+    def test_more_alus_fewer_cycles(self):
+        program = self._program()
+        slow = schedule(program, MachineConfig(n_alus=1))
+        fast = schedule(program, MachineConfig(n_alus=4))
+        assert fast.cycles < slow.cycles
+
+    def test_levels_are_barriers(self):
+        """A wide machine still pays one cycle per level plus overhead."""
+        program = self._program()
+        result = schedule(program, MachineConfig(n_alus=16, n_mem_ports=4))
+        assert result.cycles >= len(program.levels) + 1
+
+    def test_spill_penalty(self):
+        program = self._program()
+        program.live_words = 100
+        no_spill = schedule(program, MachineConfig(n_alus=2, regfile_words=128))
+        spilled = schedule(program, MachineConfig(n_alus=2, regfile_words=32))
+        assert spilled.spill_ops > 0
+        assert spilled.cycles > no_spill.cycles
+
+    def test_mult_needs_mult_unit(self):
+        program = LeveledProgram(name="m")
+        program.add_level("mul", mult=4)
+        assert throughput_bps(program, MachineConfig(n_alus=1, n_mults=0)) == 0.0
+        assert throughput_bps(program, MachineConfig(n_alus=1, n_mults=1)) > 0.0
+
+    def test_throughput_scales_with_clock(self):
+        program = self._program()
+        slow = throughput_bps(program, MachineConfig(n_alus=2, feature_um=0.35))
+        fast = throughput_bps(program, MachineConfig(n_alus=2, feature_um=0.175))
+        assert fast == pytest.approx(2 * slow)
+
+
+class TestOptimizer:
+    def test_min_area_meets_target(self):
+        program = viterbi_program(ViterbiInstanceParams(5, 25, 1, 2, 3, 8, 1))
+        estimate = optimize_machine(program, 1.0e6)
+        assert estimate.throughput_bps >= 1.0e6
+
+    def test_tighter_target_bigger_area(self):
+        program = viterbi_program(ViterbiInstanceParams(5, 25, 3))
+        loose = optimize_machine(program, 0.5e6)
+        tight = optimize_machine(program, 4.0e6)
+        assert tight.area_mm2 > loose.area_mm2
+
+    def test_infeasible_raises(self):
+        program = viterbi_program(ViterbiInstanceParams(9, 63, 4))
+        with pytest.raises(SynthesisError):
+            optimize_machine(program, 50.0e6)
+
+    def test_rejects_nonpositive_target(self):
+        program = viterbi_program(ViterbiInstanceParams(3, 6, 1))
+        with pytest.raises(ConfigurationError):
+            optimize_machine(program, 0.0)
+
+    def test_evaluate_machine_consistent(self):
+        program = viterbi_program(ViterbiInstanceParams(3, 9, 2))
+        machine = MachineConfig(n_alus=2, datapath_width=program.datapath_width)
+        estimate = evaluate_machine(program, machine)
+        assert estimate.area_mm2 == pytest.approx(estimate.area.total)
+
+
+class TestViterbiTrace:
+    def test_states_property(self):
+        assert ViterbiInstanceParams(7, 35, 1).n_states == 64
+
+    def test_multires_requires_pairing(self):
+        with pytest.raises(ConfigurationError):
+            ViterbiInstanceParams(5, 25, 1, 2, high_resolution_bits=3)
+
+    def test_multires_r2_above_r1(self):
+        with pytest.raises(ConfigurationError):
+            ViterbiInstanceParams(5, 25, 3, 2, 3, 4, 1)
+
+    def test_n_range(self):
+        with pytest.raises(ConfigurationError):
+            ViterbiInstanceParams(5, 25, 1, 2, 3, 4, 5)
+        with pytest.raises(ConfigurationError):
+            ViterbiInstanceParams(5, 25, 3, normalization_count=1)
+
+    def test_ops_grow_with_k(self):
+        small = viterbi_program(ViterbiInstanceParams(3, 15, 1)).op_counts.total
+        large = viterbi_program(ViterbiInstanceParams(7, 35, 1)).op_counts.total
+        assert large > 4 * small
+
+    def test_multires_adds_work_and_storage(self):
+        pure = viterbi_program(ViterbiInstanceParams(5, 25, 1))
+        multi = viterbi_program(ViterbiInstanceParams(5, 25, 1, 2, 3, 8, 1))
+        assert multi.op_counts.total > pure.op_counts.total
+        assert multi.storage_bits > pure.storage_bits
+        assert multi.datapath_width > pure.datapath_width
+
+    def test_storage_grows_with_depth(self):
+        shallow = viterbi_program(ViterbiInstanceParams(5, 10, 1)).storage_bits
+        deep = viterbi_program(ViterbiInstanceParams(5, 35, 1)).storage_bits
+        assert deep > shallow
+
+    @given(st.integers(3, 9), st.integers(1, 7))
+    @settings(max_examples=20, deadline=None)
+    def test_area_monotone_in_k(self, k, l_mult):
+        """Area at fixed throughput grows with constraint length."""
+        if k >= 9:
+            return
+        small = optimize_machine(
+            viterbi_program(ViterbiInstanceParams(k, l_mult * k, 2)), 1e6
+        ).area_mm2
+        big = optimize_machine(
+            viterbi_program(ViterbiInstanceParams(k + 1, l_mult * (k + 1), 2)),
+            1e6,
+        ).area_mm2
+        assert big > small

@@ -1,0 +1,202 @@
+"""End-to-end integration tests across subsystems.
+
+These reproduce miniature versions of the paper's experiments so that
+regressions in any layer (substrate, cost models, search) surface as
+behavioural failures, not just unit mismatches.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    BERThresholdCurve,
+    Objective,
+    SearchConfig,
+    pareto_front,
+)
+from repro.iir import (
+    IIRMetaCore,
+    IIRSpec,
+    design_filter,
+    minimum_word_length,
+    paper_bandpass_spec,
+    realize,
+)
+from repro.viterbi import (
+    BERSimulator,
+    ConvolutionalEncoder,
+    ViterbiMetaCore,
+    ViterbiMetacoreEvaluator,
+    ViterbiSpec,
+    build_decoder,
+)
+
+
+class TestViterbiPipeline:
+    def test_encode_channel_decode_chain_all_methods(self):
+        """Full chain for hard, soft, and multiresolution decoding."""
+        encoder = ConvolutionalEncoder(5)
+        simulator = BERSimulator(encoder, frame_length=256)
+        points = {}
+        for label, overrides in [
+            ("hard", {"M": 0, "R1": 1, "Q": "hard"}),
+            ("soft", {"M": 0, "R1": 3, "Q": "adaptive"}),
+            ("multires", {"M": 8, "R1": 1, "R2": 3, "Q": "adaptive"}),
+        ]:
+            point = {
+                "K": 5, "L_mult": 5, "G": "standard", "R1": 1,
+                "R2": 3, "Q": "adaptive", "N": 1, "M": 0,
+            }
+            point.update(overrides)
+            decoder = build_decoder(point)
+            points[label] = simulator.measure(
+                decoder, 2.0, max_bits=40_000, target_errors=250
+            ).ber
+        assert points["hard"] > points["multires"] > points["soft"] * 0.3
+
+    def test_area_ber_tradeoff_pareto(self):
+        """Larger K buys BER with area — a genuine trade-off curve."""
+        spec = ViterbiSpec(
+            throughput_bps=1e6,
+            ber_curve=BERThresholdCurve.single(3.0, 0.5),
+        )
+        evaluator = ViterbiMetacoreEvaluator(spec)
+        from repro.core import EvaluationRecord
+
+        records = []
+        for k in (3, 5, 7):
+            point = {
+                "K": k, "L_mult": 5, "G": "standard", "R1": 3,
+                "R2": 4, "Q": "adaptive", "N": 1, "M": 0,
+            }
+            metrics = evaluator.evaluate(point, fidelity=0)
+            records.append(
+                EvaluationRecord(tuple(sorted(point.items())), 0, metrics)
+            )
+        front = pareto_front(
+            records, [Objective("area_mm2"), Objective("ber")]
+        )
+        # All three sit on the front: more area always buys better BER.
+        assert len(front) == 3
+
+    def test_search_prefers_multires_over_pure_soft_when_it_wins(self):
+        """At a mid BER target, some cheap configuration wins over the
+        most expensive soft decoder (the paper's core claim that the
+        richer space contains cheaper feasible points)."""
+        spec = ViterbiSpec(
+            throughput_bps=2e6,
+            ber_curve=BERThresholdCurve.single(3.0, 1e-3),
+        )
+        metacore = ViterbiMetaCore(
+            spec, fixed={"G": "standard", "N": 1},
+            config=SearchConfig(max_resolution=2, refine_top_k=3),
+        )
+        result = metacore.search()
+        assert result.feasible
+        winner_area = result.best_metrics["area_mm2"]
+        # Compare against the brute-force "max everything" instance.
+        evaluator = ViterbiMetacoreEvaluator(spec)
+        big = evaluator.evaluate(
+            {
+                "K": 7, "L_mult": 7, "G": "standard", "R1": 3,
+                "R2": 5, "Q": "adaptive", "N": 1, "M": 0,
+            },
+            fidelity=0,
+        )
+        assert winner_area < big["area_mm2"]
+
+
+class TestIIRPipeline:
+    def test_design_realize_quantize_synthesize(self):
+        """The full Sec. 4.5 flow for one candidate."""
+        from repro.hardware.synthesis import estimate_iir_implementation
+
+        spec = paper_bandpass_spec()
+        tf = design_filter(spec, "elliptic").to_tf()
+        realization = realize("cascade", tf)
+        word = minimum_word_length(realization, spec, 24)
+        assert word is not None
+        estimate = estimate_iir_implementation(
+            realization.dataflow(), word, 1.0
+        )
+        assert estimate.area_mm2 > 0
+        assert estimate.cycles_per_sample >= 1
+
+    def test_structures_disagree_on_word_length(self):
+        """The quantization-sensitivity spread that drives Table 4."""
+        from repro.iir.design import BandpassSpec
+
+        spec = paper_bandpass_spec()
+        margin = BandpassSpec(
+            spec.passband_low, spec.passband_high,
+            spec.stopband_low, spec.stopband_high,
+            0.6 * spec.passband_ripple, 0.6 * spec.stopband_ripple,
+        )
+        tf = design_filter(margin, "elliptic").to_tf()
+        words = {}
+        for name in ("ladder", "cascade", "direct2"):
+            words[name] = minimum_word_length(realize(name, tf), spec, 28)
+        assert words["ladder"] < words["direct2"] if words["direct2"] else True
+        assert words["ladder"] <= words["cascade"]
+
+    def test_best_area_monotone_in_throughput(self):
+        config = SearchConfig(max_resolution=2, refine_top_k=3)
+        areas = []
+        for period in (5.0, 1.0, 0.25):
+            result = IIRMetaCore(IIRSpec.paper(period), config=config).search()
+            assert result.feasible
+            areas.append(result.best_metrics["area_mm2"])
+        assert areas[0] <= areas[1] <= areas[2]
+
+    def test_search_reduction_over_average(self):
+        """Best solution is well below the average feasible candidate
+        (the paper's headline Table 4 statistic)."""
+        result = IIRMetaCore(
+            IIRSpec.paper(1.0),
+            config=SearchConfig(max_resolution=2, refine_top_k=3),
+        ).search()
+        feasible = [
+            r.metrics["area_mm2"]
+            for r in result.log.records
+            if r.metrics.get("spec_violation", 1.0) == 0.0
+            and math.isfinite(r.metrics["area_mm2"])
+        ]
+        average = sum(feasible) / len(feasible)
+        best = result.best_metrics["area_mm2"]
+        assert best < 0.6 * average  # at least 40% reduction
+
+
+class TestCrossSubsystem:
+    def test_search_beats_random_at_equal_budget(self):
+        """Multiresolution search vs random sampling on the Viterbi
+        space with the same evaluator."""
+        from repro.core import RandomSearch
+        from repro.viterbi.metacore import normalize_viterbi_point
+
+        spec = ViterbiSpec(
+            throughput_bps=2e6,
+            ber_curve=BERThresholdCurve.single(3.0, 1e-2),
+        )
+        metacore = ViterbiMetaCore(
+            spec, fixed={"G": "standard", "N": 1},
+            config=SearchConfig(max_resolution=2, refine_top_k=2),
+        )
+        result = metacore.search()
+        assert result.feasible
+        budget = result.log.n_evaluations
+        random_result = RandomSearch(
+            metacore.design_space(),
+            spec.goal(),
+            ViterbiMetacoreEvaluator(spec),
+            fidelity=0,
+            normalizer=normalize_viterbi_point,
+        ).run(n_samples=budget, seed=7)
+        if random_result.feasible:
+            assert (
+                result.best_metrics["area_mm2"]
+                <= random_result.best_metrics["area_mm2"] * 1.2
+            )

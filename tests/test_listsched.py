@@ -1,0 +1,185 @@
+"""Tests for node-level dataflow scheduling (repro.hardware.listsched)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.hardware.listsched import (
+    DataflowGraph,
+    dfg_from_sections,
+    list_schedule,
+    minimum_resources,
+)
+
+
+def _chain(length: int) -> DataflowGraph:
+    graph = DataflowGraph()
+    previous = None
+    for _ in range(length):
+        previous = graph.add(
+            "add", [previous] if previous is not None else []
+        )
+    return graph
+
+
+def _independent(n_mult: int) -> DataflowGraph:
+    graph = DataflowGraph()
+    for _ in range(n_mult):
+        graph.add("mult")
+    return graph
+
+
+class TestGraphBasics:
+    def test_add_validates_predecessors(self):
+        graph = DataflowGraph()
+        with pytest.raises(ConfigurationError):
+            graph.add("add", [0])
+
+    def test_rejects_unknown_kind(self):
+        graph = DataflowGraph()
+        with pytest.raises(ConfigurationError):
+            graph.add("divide")
+
+    def test_counts(self):
+        graph = dfg_from_sections([([1.0, 0.5, 0.2], [1.0, -0.3, 0.1])])
+        assert graph.count("mult") == 5  # 2 feedback + 3 feedforward
+        assert graph.count("add") == 4
+
+
+class TestTiming:
+    def test_asap_of_chain(self):
+        graph = _chain(5)
+        assert graph.asap() == [0, 1, 2, 3, 4]
+        assert graph.critical_path() == 5
+
+    def test_asap_of_independent(self):
+        graph = _independent(6)
+        assert graph.critical_path() == 1
+
+    def test_alap_and_mobility(self):
+        graph = DataflowGraph()
+        a = graph.add("mult")
+        b = graph.add("mult")
+        c = graph.add("add", [a])
+        d = graph.add("add", [c, b])
+        mobility = graph.mobility()
+        # a and the adds are on the critical path; b has one slack cycle.
+        assert mobility[a] == 0 and mobility[c] == 0 and mobility[d] == 0
+        assert mobility[b] == 1
+
+    def test_alap_deadline_extends_slack(self):
+        graph = _chain(3)
+        mobility = graph.mobility(deadline=6)
+        assert all(m == 3 for m in mobility)
+
+    def test_alap_rejects_impossible_deadline(self):
+        with pytest.raises(ConfigurationError):
+            _chain(5).alap(deadline=3)
+
+
+class TestListScheduling:
+    def test_independent_ops_pack_by_units(self):
+        graph = _independent(8)
+        assert list_schedule(graph, {"mult": 1}).cycles == 8
+        assert list_schedule(graph, {"mult": 4}).cycles == 2
+        assert list_schedule(graph, {"mult": 8}).cycles == 1
+
+    def test_chain_cannot_go_faster_than_critical_path(self):
+        graph = _chain(6)
+        schedule = list_schedule(graph, {"add": 16})
+        assert schedule.cycles == graph.critical_path()
+
+    def test_dependences_respected(self):
+        graph = dfg_from_sections(
+            [([1.0, 0.2, 0.1], [1.0, -0.5, 0.25])] * 3
+        )
+        schedule = list_schedule(graph, {"mult": 2, "add": 2})
+        starts = schedule.start_times
+        for node in graph.nodes:
+            for predecessor in node.predecessors:
+                assert starts[predecessor] < starts[node.index]
+
+    def test_resource_capacity_respected(self):
+        graph = dfg_from_sections(
+            [([1.0, 0.2, 0.1], [1.0, -0.5, 0.25])] * 4
+        )
+        units = {"mult": 2, "add": 1}
+        schedule = list_schedule(graph, units)
+        per_cycle = {}
+        for node in graph.nodes:
+            key = (schedule.start_times[node.index], node.kind)
+            per_cycle[key] = per_cycle.get(key, 0) + 1
+        for (cycle, kind), used in per_cycle.items():
+            assert used <= units[kind]
+
+    def test_missing_units_rejected(self):
+        with pytest.raises(ConfigurationError):
+            list_schedule(_independent(2), {"add": 1})
+
+    def test_utilization(self):
+        graph = _independent(8)
+        schedule = list_schedule(graph, {"mult": 2})
+        assert schedule.utilization(graph, "mult") == pytest.approx(1.0)
+        assert schedule.utilization(graph, "add") == 0.0
+
+
+class TestMinimumResources:
+    def test_loose_deadline_single_units(self):
+        graph = dfg_from_sections(
+            [([1.0, 0.2, 0.1], [1.0, -0.5, 0.25])] * 4
+        )
+        resources = minimum_resources(graph, deadline=100)
+        assert resources == {"mult": 1, "add": 1}
+
+    def test_tight_deadline_more_units(self):
+        graph = dfg_from_sections(
+            [([1.0, 0.2, 0.1], [1.0, -0.5, 0.25])] * 4,
+            parallel_sections=True,
+        )
+        loose = minimum_resources(graph, deadline=50)
+        tight = minimum_resources(graph, deadline=graph.critical_path() + 2)
+        assert sum(tight.values()) > sum(loose.values())
+
+    def test_deadline_below_critical_rejected(self):
+        graph = _chain(10)
+        with pytest.raises(ConfigurationError):
+            minimum_resources(graph, deadline=5)
+
+    def test_validates_bound_based_estimator(self):
+        """The calibrated count-based estimator's unit counts are within
+        one unit of a real node-level schedule for the cascade."""
+        from repro.hardware.synthesis import estimate_iir_implementation
+        from repro.iir.design import paper_bandpass_spec, design_filter
+        from repro.iir.structures import realize
+
+        tf = design_filter(paper_bandpass_spec(), "elliptic").to_tf()
+        cascade = realize("cascade", tf)
+        # A looser period, so the single-sample DFG deadline is not
+        # dominated by the chain latency (the count-based model assumes
+        # inter-section pipelining that a one-sample schedule cannot
+        # express).
+        estimate = estimate_iir_implementation(
+            cascade.dataflow(), word_length=12, sample_period_us=2.0
+        )
+        graph = dfg_from_sections(cascade.sections)
+        deadline = max(estimate.cycles_per_sample, graph.critical_path())
+        resources = minimum_resources(graph, deadline=deadline)
+        assert abs(resources["mult"] - estimate.n_multipliers) <= 1
+        assert abs(resources["add"] - estimate.n_adders) <= 1
+
+
+class TestParallelGraphs:
+    def test_parallel_shorter_critical_path(self):
+        sections = [([1.0, 0.2], [1.0, -0.5, 0.25])] * 4
+        cascade = dfg_from_sections(sections, parallel_sections=False)
+        parallel = dfg_from_sections(sections, parallel_sections=True)
+        assert parallel.critical_path() < cascade.critical_path()
+
+    def test_merge_tree_added(self):
+        sections = [([1.0], [1.0, -0.5])] * 3
+        parallel = dfg_from_sections(sections, parallel_sections=True)
+        cascade = dfg_from_sections(sections, parallel_sections=False)
+        assert parallel.count("add") == cascade.count("add") + 2

@@ -1,0 +1,106 @@
+"""Tests for round-off noise analysis (repro.iir.noise)."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import FilterDesignError
+from repro.iir.design import LowpassSpec, design_filter
+from repro.iir.noise import (
+    NoiseReport,
+    compare_structures,
+    l2_norm_squared,
+    noise_report,
+)
+from repro.iir.structures import realize
+from repro.iir.transfer import TransferFunction
+
+
+@pytest.fixture(scope="module")
+def lowpass_tf():
+    spec = LowpassSpec(0.25 * math.pi, 0.45 * math.pi, 0.05, 0.02)
+    return design_filter(spec, "elliptic").to_tf()
+
+
+class TestL2Norm:
+    def test_fir_norm_exact(self):
+        tf = TransferFunction([0.6, -0.8], [1.0])
+        assert l2_norm_squared(tf) == pytest.approx(0.36 + 0.64)
+
+    def test_one_pole_geometric_series(self):
+        # h[n] = a^n: sum h^2 = 1 / (1 - a^2).
+        tf = TransferFunction([1.0], [1.0, -0.5])
+        assert l2_norm_squared(tf) == pytest.approx(1.0 / 0.75, rel=1e-9)
+
+    def test_unstable_rejected(self):
+        with pytest.raises(FilterDesignError):
+            l2_norm_squared(TransferFunction([1.0], [1.0, -1.2]))
+
+
+class TestNoiseReports:
+    @pytest.mark.parametrize(
+        "name", ["direct1", "direct2", "cascade", "parallel", "ladder",
+                 "statespace"]
+    )
+    def test_positive_gain(self, name, lowpass_tf):
+        report = noise_report(realize(name, lowpass_tf))
+        assert report.noise_gain > 0
+        assert report.n_injection_points >= 1
+        assert report.structure == name
+
+    def test_continued_fraction_unsupported(self, lowpass_tf):
+        realization = realize("continued", lowpass_tf)
+        with pytest.raises(FilterDesignError):
+            noise_report(realization)
+
+    def test_direct_form_noisier_than_cascade(self, lowpass_tf):
+        """The textbook result: high-order direct forms amplify
+        round-off noise far more than cascades of biquads."""
+        direct = noise_report(realize("direct2", lowpass_tf))
+        cascade = noise_report(realize("cascade", lowpass_tf))
+        assert direct.noise_gain > cascade.noise_gain
+
+    def test_parallel_among_the_quietest(self, lowpass_tf):
+        reports = compare_structures(
+            lowpass_tf, ["direct2", "cascade", "parallel"]
+        )
+        assert reports[0].structure in ("parallel", "cascade")
+        assert reports[-1].structure == "direct2"
+
+    def test_noise_variance_scales_with_word_length(self, lowpass_tf):
+        report = noise_report(realize("cascade", lowpass_tf))
+        # Each extra data bit buys 20*log10(2) ~ 6.02 dB of noise floor.
+        delta = report.output_noise_db(12) - report.output_noise_db(16)
+        assert delta == pytest.approx(80.0 * math.log10(2.0), abs=1e-9)
+
+    def test_variance_formula(self, lowpass_tf):
+        report = noise_report(realize("cascade", lowpass_tf))
+        word = 12
+        lsb = 2.0 ** (-(word - 1))
+        assert report.output_noise_variance(word) == pytest.approx(
+            report.noise_gain * lsb * lsb / 12.0
+        )
+
+    def test_compare_structures_sorted(self, lowpass_tf):
+        reports = compare_structures(
+            lowpass_tf, ["direct2", "cascade", "parallel", "ladder"]
+        )
+        gains = [r.noise_gain for r in reports]
+        assert gains == sorted(gains)
+
+    def test_narrowband_amplifies_direct_form_noise(self):
+        """Noise gain of the direct form explodes as poles approach the
+        unit circle — the mechanism coupling structure choice to word
+        length."""
+        mild = design_filter(
+            LowpassSpec(0.3 * math.pi, 0.6 * math.pi, 0.1, 0.05), "elliptic"
+        ).to_tf()
+        sharp = design_filter(
+            LowpassSpec(0.3 * math.pi, 0.34 * math.pi, 0.02, 0.01), "elliptic"
+        ).to_tf()
+        gain_mild = noise_report(realize("direct2", mild)).noise_gain
+        gain_sharp = noise_report(realize("direct2", sharp)).noise_gain
+        assert gain_sharp > 10 * gain_mild

@@ -1,0 +1,133 @@
+"""Tests for objectives, constraints, and BER threshold curves."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core import (
+    BERThresholdCurve,
+    Constraint,
+    DesignGoal,
+    Direction,
+    Objective,
+)
+from repro.errors import ConfigurationError
+
+
+class TestObjective:
+    def test_minimize_score(self):
+        assert Objective("area").score({"area": 2.0}) == 2.0
+
+    def test_maximize_score_negates(self):
+        objective = Objective("speed", Direction.MAXIMIZE)
+        assert objective.score({"speed": 5.0}) == -5.0
+
+    def test_missing_metric_is_inf(self):
+        assert Objective("area").score({}) == math.inf
+
+    def test_nan_metric_is_inf(self):
+        assert Objective("area").score({"area": math.nan}) == math.inf
+
+
+class TestConstraint:
+    def test_needs_exactly_one_bound(self):
+        with pytest.raises(ConfigurationError):
+            Constraint("x")
+        with pytest.raises(ConfigurationError):
+            Constraint("x", upper=1.0, lower=0.0)
+
+    def test_upper_violation_relative(self):
+        constraint = Constraint("x", upper=2.0)
+        assert constraint.violation({"x": 1.0}) == 0.0
+        assert constraint.violation({"x": 3.0}) == pytest.approx(0.5)
+
+    def test_lower_violation_relative(self):
+        constraint = Constraint("x", lower=4.0)
+        assert constraint.violation({"x": 5.0}) == 0.0
+        assert constraint.violation({"x": 2.0}) == pytest.approx(0.5)
+
+    def test_missing_metric_is_inf(self):
+        assert Constraint("x", upper=1.0).violation({}) == math.inf
+
+    def test_satisfied(self):
+        assert Constraint("x", upper=1.0).satisfied({"x": 1.0})
+        assert not Constraint("x", upper=1.0).satisfied({"x": 1.01})
+
+
+class TestBERThresholdCurve:
+    def test_single_factory(self):
+        curve = BERThresholdCurve.single(3.0, 1e-4)
+        assert curve.es_n0_db_values == [3.0]
+
+    def test_rejects_empty_and_bad_ber(self):
+        with pytest.raises(ConfigurationError):
+            BERThresholdCurve(points=())
+        with pytest.raises(ConfigurationError):
+            BERThresholdCurve(points=((1.0, 0.0),))
+        with pytest.raises(ConfigurationError):
+            BERThresholdCurve(points=((1.0, 0.9),))
+
+    def test_violation_in_decades(self):
+        curve = BERThresholdCurve.single(3.0, 1e-4)
+        assert curve.violation({3.0: 1e-5}) == 0.0
+        assert curve.violation({3.0: 1e-3}) == pytest.approx(1.0)
+
+    def test_violation_worst_point(self):
+        curve = BERThresholdCurve(points=((0.0, 1e-2), (3.0, 1e-4)))
+        violation = curve.violation({0.0: 1e-1, 3.0: 1e-3})
+        assert violation == pytest.approx(1.0)
+
+    def test_violation_requires_all_points(self):
+        curve = BERThresholdCurve(points=((0.0, 1e-2), (3.0, 1e-4)))
+        with pytest.raises(ConfigurationError):
+            curve.violation({0.0: 1e-3})
+
+    def test_nan_measurement_is_inf(self):
+        curve = BERThresholdCurve.single(3.0, 1e-4)
+        assert curve.violation({3.0: math.nan}) == math.inf
+
+
+class TestDesignGoal:
+    def _goal(self) -> DesignGoal:
+        return DesignGoal(
+            objectives=[Objective("area")],
+            constraints=[Constraint("violation", upper=0.0)],
+        )
+
+    def test_requires_objective(self):
+        with pytest.raises(ConfigurationError):
+            DesignGoal(objectives=[])
+
+    def test_feasible_beats_infeasible(self):
+        goal = self._goal()
+        feasible = {"area": 100.0, "violation": 0.0}
+        infeasible = {"area": 1.0, "violation": 0.5}
+        assert goal.compare(feasible, infeasible) < 0
+
+    def test_among_feasible_objective_decides(self):
+        goal = self._goal()
+        a = {"area": 1.0, "violation": 0.0}
+        b = {"area": 2.0, "violation": 0.0}
+        assert goal.compare(a, b) < 0
+        assert goal.compare(b, a) > 0
+
+    def test_among_infeasible_violation_decides(self):
+        goal = self._goal()
+        a = {"area": 9.0, "violation": 0.1}
+        b = {"area": 1.0, "violation": 0.9}
+        assert goal.compare(a, b) < 0
+
+    def test_equal_compare_zero(self):
+        goal = self._goal()
+        a = {"area": 1.0, "violation": 0.0}
+        assert goal.compare(a, dict(a)) == 0
+
+    def test_ber_curve_adds_constraint(self):
+        goal = DesignGoal(
+            objectives=[Objective("area")],
+            ber_curve=BERThresholdCurve.single(3.0, 1e-4),
+        )
+        assert not goal.is_feasible({"area": 1.0, "ber_violation": 0.5})
+        assert goal.is_feasible({"area": 1.0, "ber_violation": 0.0})

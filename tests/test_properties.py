@@ -1,0 +1,207 @@
+"""Cross-cutting property-based tests (hypothesis).
+
+Deeper invariants spanning several modules: decoder correctness under
+arbitrary parameters, normalization canonicity, puncture round-trips,
+structure equivalence under random stable filters, and grid algebra.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import assume, given, settings, strategies as st
+
+from repro.core import DesignSpace, DiscreteParameter, Region
+from repro.iir.structures import realize
+from repro.iir.transfer import TransferFunction
+from repro.viterbi import (
+    AdaptiveQuantizer,
+    ConvolutionalEncoder,
+    HardQuantizer,
+    MultiresolutionViterbiDecoder,
+    PuncturePattern,
+    Trellis,
+    ViterbiDecoder,
+    bpsk_modulate,
+)
+from repro.viterbi.metacore import normalize_viterbi_point
+
+
+class TestDecoderProperties:
+    @given(
+        k=st.integers(3, 7),
+        l_mult=st.integers(2, 6),
+        m_exp=st.integers(0, 4),
+        length=st.integers(40, 120),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_multires_noiseless_exact(self, k, l_mult, m_exp, length):
+        """Any multiresolution configuration decodes clean symbols
+        exactly."""
+        n_states = 1 << (k - 1)
+        m = min(1 << m_exp, n_states)
+        encoder = ConvolutionalEncoder(k)
+        decoder = MultiresolutionViterbiDecoder(
+            Trellis.from_encoder(encoder),
+            HardQuantizer(),
+            AdaptiveQuantizer(3),
+            l_mult * k,
+            multires_paths=m,
+        )
+        rng = np.random.default_rng(k * 1009 + l_mult * 31 + m)
+        bits = rng.integers(0, 2, size=length, dtype=np.int8)
+        clean = bpsk_modulate(encoder.encode(bits))
+        assert np.array_equal(decoder.decode(clean, sigma=0.4), bits)
+
+    @given(
+        k=st.integers(3, 6),
+        flips=st.integers(0, 2),
+        length=st.integers(60, 140),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_few_symbol_flips_corrected(self, k, flips, length):
+        """Up to floor((dfree-1)/2) well-separated symbol errors are
+        always corrected (dfree >= 5 for these codes)."""
+        encoder = ConvolutionalEncoder(k)
+        decoder = ViterbiDecoder(
+            Trellis.from_encoder(encoder), HardQuantizer(), 6 * k
+        )
+        rng = np.random.default_rng(k * 7919 + flips + length)
+        bits = rng.integers(0, 2, size=length, dtype=np.int8)
+        received = bpsk_modulate(encoder.encode(bits))
+        positions = np.linspace(
+            10, length - 10, max(flips, 1), dtype=int
+        )[:flips]
+        for position in positions:
+            received[position, 0] *= -1.0
+        assert np.array_equal(decoder.decode(received, sigma=0.2), bits)
+
+
+class TestNormalizationProperties:
+    POINT_STRATEGY = st.fixed_dictionaries(
+        {
+            "K": st.sampled_from((3, 4, 5, 6, 7)),
+            "L_mult": st.sampled_from(tuple(range(1, 8))),
+            "G": st.just("standard"),
+            "R1": st.sampled_from((1, 2, 3)),
+            "R2": st.sampled_from((2, 3, 4, 5)),
+            "Q": st.sampled_from(("hard", "fixed", "adaptive")),
+            "N": st.sampled_from((1, 2, 3, 4)),
+            "M": st.sampled_from((0, 1, 2, 4, 8, 16, 32, 64)),
+        }
+    )
+
+    @given(point=POINT_STRATEGY)
+    @settings(max_examples=100, deadline=None)
+    def test_normalization_idempotent_and_valid(self, point):
+        once = normalize_viterbi_point(point)
+        twice = normalize_viterbi_point(once)
+        assert once == twice
+        # Normalized points always describe a buildable decoder.
+        from repro.viterbi import build_decoder
+
+        decoder = build_decoder(once)
+        assert decoder is not None
+
+    @given(point=POINT_STRATEGY)
+    @settings(max_examples=60, deadline=None)
+    def test_normalized_invariants(self, point):
+        normalized = normalize_viterbi_point(point)
+        k = int(normalized["K"])
+        m = int(normalized["M"])
+        assert 0 <= m <= (1 << (k - 1))
+        if m > 0:
+            assert int(normalized["R2"]) > int(normalized["R1"])
+            assert 1 <= int(normalized["N"]) <= m
+            assert normalized["Q"] != "hard"
+        if normalized["Q"] == "hard":
+            assert int(normalized["R1"]) == 1 and m == 0
+
+
+class TestPunctureProperties:
+    @given(
+        period=st.integers(1, 6),
+        seed=st.integers(0, 1000),
+        frames=st.integers(1, 3),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_random_pattern_round_trip(self, period, seed, frames):
+        rng = np.random.default_rng(seed)
+        mask = rng.integers(0, 2, size=(period, 2))
+        # Every row must keep at least one symbol.
+        for row in mask:
+            if row.sum() == 0:
+                row[rng.integers(2)] = 1
+        pattern = PuncturePattern(
+            "rand", tuple(tuple(int(b) for b in row) for row in mask)
+        )
+        steps = 4 * period
+        symbols = rng.normal(size=(frames, steps, 2))
+        restored = pattern.depuncture(pattern.puncture(symbols), steps)
+        keep = pattern.mask_array(steps)
+        assert np.allclose(restored[..., keep], symbols[..., keep])
+        assert np.isnan(restored[..., ~keep]).all()
+
+
+class TestStructureProperties:
+    @given(
+        poles=st.lists(
+            st.tuples(st.floats(0.1, 0.93), st.floats(0.1, 3.0)),
+            min_size=1,
+            max_size=3,
+        ),
+        seed=st.integers(0, 100),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_structures_reproduce_random_stable_filters(self, poles, seed):
+        """cascade/parallel/ladder/statespace realize any random stable
+        all-pole-pair filter with matching responses."""
+        pole_list = []
+        for radius, angle in poles:
+            pole_list.extend(
+                [radius * np.exp(1j * angle), radius * np.exp(-1j * angle)]
+            )
+        # Distinct poles required by the parallel form.
+        values = np.asarray(pole_list)
+        assume(
+            np.min(
+                np.abs(values[:, None] - values[None, :])
+                + np.eye(values.size)
+            )
+            > 1e-3
+        )
+        rng = np.random.default_rng(seed)
+        a = np.real(np.poly(values))
+        b = rng.normal(size=values.size // 2 + 1)
+        assume(np.max(np.abs(b)) > 1e-3)
+        tf = TransferFunction(b, a)
+        omega = np.linspace(0.1, 3.0, 48)
+        reference = tf.response(omega)
+        for name in ("cascade", "parallel", "ladder", "statespace"):
+            rebuilt = realize(name, tf).to_tf().response(omega)
+            assert np.max(np.abs(rebuilt - reference)) < 1e-6
+
+
+class TestGridProperties:
+    @given(
+        sizes=st.lists(st.integers(2, 12), min_size=1, max_size=4),
+        resolution=st.integers(0, 3),
+        budget=st.integers(4, 128),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_grid_budget_and_membership(self, sizes, resolution, budget):
+        space = DesignSpace(
+            [
+                DiscreteParameter(f"p{i}", tuple(range(size)))
+                for i, size in enumerate(sizes)
+            ]
+        )
+        grid = Region.full(space).grid(resolution, max_points=budget)
+        assert 1 <= len(grid.points) <= budget
+        for point in grid.points:
+            space.validate_point(point)
+        # Points are unique.
+        keys = {tuple(sorted(p.items())) for p in grid.points}
+        assert len(keys) == len(grid.points)

@@ -1,0 +1,129 @@
+"""Tests for punctured convolutional codes (rate k/n support)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.viterbi import (
+    AdaptiveQuantizer,
+    BERSimulator,
+    ConvolutionalEncoder,
+    HardQuantizer,
+    PuncturePattern,
+    STANDARD_PATTERNS,
+    Trellis,
+    ViterbiDecoder,
+    bpsk_modulate,
+    standard_pattern,
+)
+
+
+class TestPattern:
+    def test_standard_rates(self):
+        assert standard_pattern("1/2").rate == (1, 2)
+        assert standard_pattern("2/3").rate == (2, 3)
+        assert standard_pattern("3/4").rate == (3, 4)
+        assert standard_pattern("5/6").rate == (5, 6)
+        assert standard_pattern("7/8").rate == (7, 8)
+
+    def test_unknown_rate(self):
+        with pytest.raises(ConfigurationError):
+            standard_pattern("9/10")
+
+    def test_rejects_bad_masks(self):
+        with pytest.raises(ConfigurationError):
+            PuncturePattern("x", ())
+        with pytest.raises(ConfigurationError):
+            PuncturePattern("x", ((1, 2),))
+        with pytest.raises(ConfigurationError):
+            PuncturePattern("x", ((0, 0),))
+        with pytest.raises(ConfigurationError):
+            PuncturePattern("x", ((1, 1), (1,)))
+
+    def test_mask_array_tiles(self):
+        pattern = standard_pattern("3/4")
+        mask = pattern.mask_array(6)
+        assert mask.shape == (6, 2)
+        assert np.array_equal(mask[:3], mask[3:])
+
+    def test_puncture_depuncture_round_trip(self):
+        pattern = standard_pattern("3/4")
+        symbols = np.arange(24).reshape(2, 6, 2).astype(float)
+        punctured = pattern.puncture(symbols)
+        assert punctured.shape == (2, 8)  # 6 steps * 2 syms * (4/6 kept)
+        restored = pattern.depuncture(punctured, 6)
+        keep = pattern.mask_array(6)
+        assert np.array_equal(restored[..., keep], symbols[..., keep])
+        assert np.isnan(restored[..., ~keep]).all()
+
+    def test_puncture_requires_whole_periods(self):
+        pattern = standard_pattern("3/4")
+        with pytest.raises(ConfigurationError):
+            pattern.puncture(np.zeros((4, 2)))
+
+    def test_depuncture_validates_length(self):
+        pattern = standard_pattern("2/3")
+        with pytest.raises(ConfigurationError):
+            pattern.depuncture(np.zeros(5), 4)
+
+
+class TestPuncturedDecoding:
+    @pytest.mark.parametrize("rate", ["2/3", "3/4", "5/6"])
+    def test_noiseless_round_trip(self, rate, rng):
+        encoder = ConvolutionalEncoder(7)
+        decoder = ViterbiDecoder(
+            Trellis.from_encoder(encoder), AdaptiveQuantizer(3), 49
+        )
+        pattern = standard_pattern(rate)
+        length = 10 * pattern.period
+        bits = rng.integers(0, 2, size=(3, length), dtype=np.int8)
+        symbols = encoder.encode(bits)
+        clean = bpsk_modulate(pattern.puncture(symbols))
+        received = pattern.depuncture(clean, length)
+        decoded = decoder.decode(received, sigma=0.4)
+        assert np.array_equal(decoded, bits)
+
+    def test_hard_decision_erasures_neutral(self, rng):
+        """Erased positions must not bias hard-decision decoding."""
+        encoder = ConvolutionalEncoder(5)
+        decoder = ViterbiDecoder(
+            Trellis.from_encoder(encoder), HardQuantizer(), 30
+        )
+        pattern = standard_pattern("2/3")
+        bits = rng.integers(0, 2, size=(4, 100), dtype=np.int8)
+        clean = bpsk_modulate(pattern.puncture(encoder.encode(bits)))
+        received = pattern.depuncture(clean, 100)
+        decoded = decoder.decode(received, sigma=0.4)
+        assert np.array_equal(decoded, bits)
+
+    def test_higher_rate_worse_ber(self):
+        """Less redundancy costs BER at fixed Es/N0 — the fundamental
+        rate/robustness trade-off."""
+        encoder = ConvolutionalEncoder(7)
+        decoder = ViterbiDecoder(
+            Trellis.from_encoder(encoder), AdaptiveQuantizer(3), 49
+        )
+        bers = {}
+        for rate in ("1/2", "3/4", "7/8"):
+            simulator = BERSimulator(
+                encoder, frame_length=252, puncture=standard_pattern(rate)
+            )
+            bers[rate] = simulator.measure(
+                decoder, 4.0, max_bits=30_000, target_errors=150
+            ).ber
+        assert bers["1/2"] <= bers["3/4"] <= bers["7/8"]
+        assert bers["7/8"] > bers["1/2"]
+
+    def test_simulator_validates_pattern_width(self):
+        encoder = ConvolutionalEncoder(5, (0o37, 0o33, 0o25))  # rate 1/3
+        with pytest.raises(ConfigurationError):
+            BERSimulator(encoder, puncture=standard_pattern("3/4"))
+
+    def test_simulator_rounds_frame_length(self):
+        encoder = ConvolutionalEncoder(7)
+        simulator = BERSimulator(
+            encoder, frame_length=250, puncture=standard_pattern("3/4")
+        )
+        assert simulator.frame_length % 3 == 0

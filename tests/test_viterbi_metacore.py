@@ -1,0 +1,213 @@
+"""Tests for the Viterbi MetaCore (design space, evaluator, search)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core import BERThresholdCurve, SearchConfig
+from repro.errors import ConfigurationError
+from repro.viterbi import (
+    MultiresolutionViterbiDecoder,
+    ViterbiDecoder,
+    ViterbiMetaCore,
+    ViterbiMetacoreEvaluator,
+    ViterbiSpec,
+    build_decoder,
+    describe_point,
+    instance_params,
+    normalize_viterbi_point,
+    traceback_depth,
+    viterbi_design_space,
+)
+
+
+def _point(**overrides):
+    point = {
+        "K": 5, "L_mult": 5, "G": "standard", "R1": 1,
+        "R2": 3, "Q": "adaptive", "N": 1, "M": 4,
+    }
+    point.update(overrides)
+    return point
+
+
+class TestDesignSpace:
+    def test_eight_dimensions(self):
+        space = viterbi_design_space()
+        assert space.dimensions == 8
+        assert set(space.names) == {"K", "L_mult", "G", "R1", "R2", "Q", "N", "M"}
+
+    def test_fixed_parameters_pin_values(self):
+        space = viterbi_design_space(fixed={"K": 7, "N": 1})
+        assert space["K"].values == (7,)
+        assert space["N"].values == (1,)
+
+    def test_fixed_rejects_unknown(self):
+        with pytest.raises(ConfigurationError):
+            viterbi_design_space(fixed={"Z": 1})
+
+    def test_fixed_rejects_invalid_value(self):
+        with pytest.raises(Exception):
+            viterbi_design_space(fixed={"K": 12})
+
+    def test_space_is_large(self):
+        """The paper's point: too many instances to enumerate."""
+        assert viterbi_design_space().size() >= 7 * 5 * 3 * 4 * 3 * 4 * 8
+
+
+class TestNormalization:
+    def test_hard_forces_one_bit_pure(self):
+        point = normalize_viterbi_point(_point(Q="hard", R1=3, M=8))
+        assert point["R1"] == 1
+        assert point["M"] == 0
+
+    def test_m_clamped_to_states(self):
+        point = normalize_viterbi_point(_point(K=3, M=64))
+        assert point["M"] == 4
+
+    def test_pure_decoding_canonical_r2_n(self):
+        a = normalize_viterbi_point(_point(M=0, R2=3, N=2))
+        b = normalize_viterbi_point(_point(M=0, R2=5, N=4))
+        assert a == b
+
+    def test_pure_one_bit_is_hard(self):
+        point = normalize_viterbi_point(_point(M=0, R1=1, Q="adaptive"))
+        assert point["Q"] == "hard"
+
+    def test_r2_bumped_above_r1(self):
+        point = normalize_viterbi_point(_point(R1=3, R2=2, M=4))
+        assert point["R2"] == 4
+
+    def test_n_clamped_to_m(self):
+        point = normalize_viterbi_point(_point(M=2, N=4))
+        assert point["N"] == 2
+
+    def test_multires_hard_method_becomes_adaptive(self):
+        point = normalize_viterbi_point(_point(Q="hard", R1=1, M=0))
+        assert point["Q"] == "hard"
+        point = dict(_point(M=4))
+        point["Q"] = "hard"
+        # Q=hard with M>0 is normalized to pure hard (R1=1, M=0).
+        normalized = normalize_viterbi_point(point)
+        assert normalized["M"] == 0
+
+    def test_idempotent(self):
+        once = normalize_viterbi_point(_point(K=3, M=64, R1=3, R2=2))
+        twice = normalize_viterbi_point(once)
+        assert once == twice
+
+
+class TestBuilders:
+    def test_traceback_depth(self):
+        assert traceback_depth(_point(K=7, L_mult=5)) == 35
+
+    def test_build_pure_decoder(self):
+        decoder = build_decoder(_point(M=0, R1=3))
+        assert isinstance(decoder, ViterbiDecoder)
+        assert not isinstance(decoder, MultiresolutionViterbiDecoder)
+        assert decoder.quantizer.bits == 3
+
+    def test_build_multires_decoder(self):
+        decoder = build_decoder(_point(M=8))
+        assert isinstance(decoder, MultiresolutionViterbiDecoder)
+        assert decoder.multires_paths == 8
+        assert decoder.high_quantizer.bits == 3
+
+    def test_instance_params_consistent(self):
+        params = instance_params(_point(K=7, L_mult=7, M=4))
+        assert params.constraint_length == 7
+        assert params.traceback_depth == 49
+        assert params.multires_paths == 4
+
+    def test_instance_params_pure(self):
+        params = instance_params(_point(M=0, R1=2))
+        assert params.multires_paths is None
+        assert params.normalization_count == 0
+
+    def test_describe_point_table3_format(self):
+        text = describe_point(_point(K=7, L_mult=7, M=0, R1=3))
+        assert "K=7" in text and "171,133" in text and "M=NA" in text
+
+    def test_describe_multires(self):
+        text = describe_point(_point(M=8, N=1))
+        assert "M=8" in text and "R2=3" in text
+
+
+class TestEvaluator:
+    @pytest.fixture()
+    def spec(self):
+        return ViterbiSpec(
+            throughput_bps=1e6,
+            ber_curve=BERThresholdCurve.single(3.0, 1e-3),
+        )
+
+    def test_analytic_fidelity_metrics(self, spec):
+        evaluator = ViterbiMetacoreEvaluator(spec)
+        metrics = evaluator.evaluate(_point(), fidelity=0)
+        assert metrics["hw_feasible"] == 1.0
+        assert metrics["area_mm2"] > 0
+        assert 0 < metrics["ber"] <= 0.5
+        assert "ber_errors" not in metrics
+
+    def test_monte_carlo_fidelity_has_counts(self, spec):
+        evaluator = ViterbiMetacoreEvaluator(spec)
+        metrics = evaluator.evaluate(_point(K=3), fidelity=1)
+        assert metrics["ber_bits"] > 0
+        assert metrics["ber_threshold"] == 1e-3
+
+    def test_throughput_met(self, spec):
+        evaluator = ViterbiMetacoreEvaluator(spec)
+        metrics = evaluator.evaluate(_point(), fidelity=0)
+        assert metrics["throughput_bps"] >= spec.throughput_bps
+
+    def test_infeasible_hardware(self):
+        spec = ViterbiSpec(
+            throughput_bps=1e9,
+            ber_curve=BERThresholdCurve.single(3.0, 1e-3),
+        )
+        evaluator = ViterbiMetacoreEvaluator(spec)
+        metrics = evaluator.evaluate(_point(K=7), fidelity=0)
+        assert math.isinf(metrics["area_mm2"])
+        assert metrics["hw_feasible"] == 0.0
+
+    def test_fidelity_bounds(self, spec):
+        evaluator = ViterbiMetacoreEvaluator(spec)
+        with pytest.raises(ConfigurationError):
+            evaluator.evaluate(_point(), fidelity=9)
+
+    def test_spec_validation(self):
+        with pytest.raises(ConfigurationError):
+            ViterbiSpec(
+                throughput_bps=0.0,
+                ber_curve=BERThresholdCurve.single(3.0, 1e-3),
+            )
+
+
+class TestSearchIntegration:
+    def test_easy_spec_finds_small_feasible_decoder(self):
+        spec = ViterbiSpec(
+            throughput_bps=1e6,
+            ber_curve=BERThresholdCurve.single(4.0, 2e-2),
+        )
+        metacore = ViterbiMetaCore(
+            spec, fixed={"G": "standard", "N": 1},
+            config=SearchConfig(max_resolution=1, refine_top_k=2),
+        )
+        result = metacore.search()
+        assert result.feasible
+        # An easy spec should be met by a small constraint length.
+        assert result.best_point["K"] <= 5
+        assert result.best_metrics["area_mm2"] < 1.5
+
+    def test_impossible_spec_reported_infeasible(self):
+        spec = ViterbiSpec(
+            throughput_bps=1e6,
+            ber_curve=BERThresholdCurve.single(3.0, 1e-9),
+        )
+        metacore = ViterbiMetaCore(
+            spec, fixed={"G": "standard", "N": 1},
+            config=SearchConfig(max_resolution=1, refine_top_k=2),
+        )
+        result = metacore.search()
+        assert not result.feasible
