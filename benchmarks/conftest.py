@@ -18,7 +18,14 @@ from pathlib import Path
 
 import pytest
 
+from repro.observability.export import JsonlSink
+from repro.observability.trace import Tracer
+
 RESULTS_DIR = Path(__file__).parent / "results"
+
+#: Per-benchmark timing trace (one span per benchmark + final metrics
+#: snapshot); inspect with ``metacores trace-report``.
+TIMINGS_FILE = "benchmark_timings.jsonl"
 
 
 def bench_scale() -> float:
@@ -34,6 +41,28 @@ def scaled_bits(base: int) -> int:
 def results_dir() -> Path:
     RESULTS_DIR.mkdir(exist_ok=True)
     return RESULTS_DIR
+
+
+@pytest.fixture(scope="session")
+def _timing_tracer(results_dir):
+    """Session-wide tracer collecting one timing span per benchmark.
+
+    A private tracer (not the process-wide default) so the library's
+    fine-grained spans stay no-ops and benchmarks run at full speed;
+    only the coarse per-benchmark wall-clock is recorded.  The final
+    record snapshots the default metrics registry, which the library's
+    counters feed regardless of tracing.
+    """
+    with JsonlSink(results_dir / TIMINGS_FILE) as sink:
+        yield Tracer(sink)
+        sink.write_metrics()
+
+
+@pytest.fixture(autouse=True)
+def _time_benchmark(_timing_tracer, request):
+    """Wrap every benchmark in a span so wall-clock per test persists."""
+    with _timing_tracer.span("benchmark", test=request.node.name):
+        yield
 
 
 @pytest.fixture()

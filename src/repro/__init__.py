@@ -15,6 +15,9 @@ The package is organized as the paper is:
 - :mod:`repro.hardware` — the cost-evaluation substrate standing in for
   Trimaran/TR4101 (Viterbi area/throughput) and HYPER (IIR behavioral
   synthesis estimation).
+- :mod:`repro.observability` — span tracing, a metrics registry, and
+  JSONL run-telemetry export instrumenting the search/evaluation hot
+  paths (free when disabled).
 """
 
 __version__ = "1.0.0"

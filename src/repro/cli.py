@@ -9,6 +9,8 @@ related parameters"; this CLI exposes the same controls::
     metacores iir-search     --period-us 1.0
     metacores iir-design     --family elliptic --structure cascade --word 12
     metacores spectrum       --k 7
+    metacores viterbi-search --ber 1e-2 --throughput 1e6 --trace run.jsonl
+    metacores trace-report   run.jsonl
 
 Run ``metacores <command> --help`` for the full parameter list of each
 command.
@@ -17,11 +19,18 @@ command.
 from __future__ import annotations
 
 import argparse
+import contextlib
 import math
 import sys
-from typing import List, Optional
+from typing import Iterator, List, Optional
 
 from repro.core import BERThresholdCurve, SearchConfig
+from repro.observability import (
+    format_trace_report,
+    install_tracing,
+    shutdown_tracing,
+    summarize_trace,
+)
 from repro.iir import (
     IIRMetaCore,
     IIRSpec,
@@ -42,6 +51,35 @@ from repro.viterbi import (
     distance_spectrum,
     normalize_viterbi_point,
 )
+
+
+def _add_trace_arg(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--trace",
+        metavar="FILE",
+        default=None,
+        help="write spans/metrics/events of this run to a JSONL trace file "
+        "(inspect with `metacores trace-report FILE`)",
+    )
+
+
+@contextlib.contextmanager
+def _tracing(args: argparse.Namespace) -> Iterator[None]:
+    """Record the run to ``--trace FILE`` when requested; else no-op."""
+    trace_path = getattr(args, "trace", None)
+    if not trace_path:
+        yield
+        return
+    try:
+        sink = install_tracing(trace_path)
+    except OSError as error:
+        print(f"cannot open trace file: {error}", file=sys.stderr)
+        raise SystemExit(2)
+    try:
+        yield
+    finally:
+        shutdown_tracing(sink)
+        print(f"trace written to {trace_path} ({sink.n_records} records)")
 
 
 def _add_viterbi_point_args(parser: argparse.ArgumentParser) -> None:
@@ -106,7 +144,8 @@ def cmd_viterbi_search(args: argparse.Namespace) -> int:
     metacore = ViterbiMetaCore(
         spec, fixed={"G": "standard", "N": 1}, config=config
     )
-    result = metacore.search()
+    with _tracing(args):
+        result = metacore.search()
     print(result.summary())
     if result.best_point is not None:
         print(f"winner: {describe_point(result.best_point)}")
@@ -175,7 +214,8 @@ def cmd_iir_search(args: argparse.Namespace) -> int:
         max_resolution=args.max_resolution, refine_top_k=args.top_k
     )
     metacore = IIRMetaCore(spec, config=config)
-    result = metacore.search()
+    with _tracing(args):
+        result = metacore.search()
     print(result.summary())
     if not result.feasible:
         print("specification NOT FEASIBLE within the design space")
@@ -225,10 +265,11 @@ def cmd_table3(args: argparse.Namespace) -> int:
         return metacore.search()
 
     sweep = SpecificationSweep(runner=run, feasibility_metric="ber_violation")
-    sweep.run(
-        specs,
-        labels=[f"{b:g}@{t / 1e6:g}Mbps" for b, t in specs],
-    )
+    with _tracing(args):
+        sweep.run(
+            specs,
+            labels=[f"{b:g}@{t / 1e6:g}Mbps" for b, t in specs],
+        )
     print(
         sweep.format_table(
             extra_columns={
@@ -259,7 +300,8 @@ def cmd_table4(args: argparse.Namespace) -> int:
         return metacore.search()
 
     sweep = SpecificationSweep(runner=run)
-    sweep.run(periods, labels=[f"{p:g} us" for p in periods])
+    with _tracing(args):
+        sweep.run(periods, labels=[f"{p:g} us" for p in periods])
     print(
         sweep.format_table(
             extra_columns={
@@ -271,6 +313,17 @@ def cmd_table4(args: argparse.Namespace) -> int:
             }
         )
     )
+    return 0
+
+
+def cmd_trace_report(args: argparse.Namespace) -> int:
+    """Aggregate a JSONL trace file into a per-stage breakdown."""
+    try:
+        summary = summarize_trace(args.file)
+    except OSError as error:
+        print(f"cannot read trace file: {error}", file=sys.stderr)
+        return 1
+    print(format_trace_report(summary))
     return 0
 
 
@@ -307,6 +360,7 @@ def build_parser() -> argparse.ArgumentParser:
     search.add_argument("--feature-um", type=float, default=0.25)
     search.add_argument("--max-resolution", type=int, default=2)
     search.add_argument("--top-k", type=int, default=3)
+    _add_trace_arg(search)
     search.set_defaults(func=cmd_viterbi_search)
 
     spectrum = sub.add_parser(
@@ -335,6 +389,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     iir.add_argument("--max-resolution", type=int, default=3)
     iir.add_argument("--top-k", type=int, default=4)
+    _add_trace_arg(iir)
     iir.set_defaults(func=cmd_iir_search)
 
     design = sub.add_parser(
@@ -357,6 +412,7 @@ def build_parser() -> argparse.ArgumentParser:
     table3.add_argument("--es-n0-db", type=float, default=2.0)
     table3.add_argument("--max-resolution", type=int, default=2)
     table3.add_argument("--top-k", type=int, default=3)
+    _add_trace_arg(table3)
     table3.set_defaults(func=cmd_table3)
 
     table4 = sub.add_parser(
@@ -364,7 +420,15 @@ def build_parser() -> argparse.ArgumentParser:
     )
     table4.add_argument("--max-resolution", type=int, default=3)
     table4.add_argument("--top-k", type=int, default=4)
+    _add_trace_arg(table4)
     table4.set_defaults(func=cmd_table4)
+
+    trace_report = sub.add_parser(
+        "trace-report",
+        help="aggregate a --trace JSONL file into per-stage totals",
+    )
+    trace_report.add_argument("file", help="trace file written by --trace")
+    trace_report.set_defaults(func=cmd_trace_report)
     return parser
 
 

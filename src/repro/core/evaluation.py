@@ -16,6 +16,8 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Mapping, Optional, Protocol, Tuple
 
 from repro.core.parameters import Point, frozen_point
+from repro.observability.metrics import get_registry
+from repro.observability.trace import get_tracer
 
 Metrics = Dict[str, float]
 
@@ -72,6 +74,15 @@ class EvaluationLog:
             counts[record.fidelity] = counts.get(record.fidelity, 0) + 1
         return counts
 
+    def time_by_fidelity(self) -> Dict[int, float]:
+        """Evaluator wall-clock seconds spent per fidelity level."""
+        totals: Dict[int, float] = {}
+        for record in self.records:
+            totals[record.fidelity] = (
+                totals.get(record.fidelity, 0.0) + record.elapsed_s
+            )
+        return totals
+
     def unique_points(self) -> int:
         return len({record.point for record in self.records})
 
@@ -82,25 +93,61 @@ class CachingEvaluator:
     A point evaluated at fidelity ``f`` is never recomputed at any
     fidelity ``<= f`` — a lower-fidelity request is answered from the
     higher-fidelity result, which is at least as accurate.
+
+    Hits and misses are observable: the :class:`EvaluationLog` records
+    only *computed* evaluations, while ``cache_hits``/``cache_misses``
+    count every *request*, so ``log.n_evaluations`` no longer silently
+    conflates the two.  The same counts feed the process-wide metrics
+    registry (``evaluator.cache_hits`` / ``evaluator.cache_misses`` /
+    ``evaluator.cache_upgrades``) along with a per-fidelity latency
+    histogram ``evaluator.latency_s.fid<level>``.
     """
 
     def __init__(self, inner: Evaluator, log: Optional[EvaluationLog] = None) -> None:
         self.inner = inner
         self.log = log if log is not None else EvaluationLog()
         self._cache: Dict[Tuple, Tuple[int, Metrics]] = {}
+        self._hits = 0
+        self._misses = 0
+        self._upgrades = 0
 
     @property
     def max_fidelity(self) -> int:
         return self.inner.max_fidelity
 
+    @property
+    def cache_hits(self) -> int:
+        """Requests answered from the cache (no computation)."""
+        return self._hits
+
+    @property
+    def cache_misses(self) -> int:
+        """Requests that ran the inner evaluator (includes upgrades)."""
+        return self._misses
+
+    @property
+    def cache_upgrades(self) -> int:
+        """Misses that recomputed a cached point at a higher fidelity."""
+        return self._upgrades
+
     def evaluate(self, point: Point, fidelity: int) -> Metrics:
+        registry = get_registry()
         key = frozen_point(point)
         cached = self._cache.get(key)
         if cached is not None and cached[0] >= fidelity:
+            self._hits += 1
+            registry.counter("evaluator.cache_hits").inc()
             return cached[1]
-        start = time.perf_counter()
-        metrics = self.inner.evaluate(point, fidelity)
-        elapsed = time.perf_counter() - start
+        self._misses += 1
+        registry.counter("evaluator.cache_misses").inc()
+        if cached is not None:
+            self._upgrades += 1
+            registry.counter("evaluator.cache_upgrades").inc()
+        with get_tracer().span("evaluate", fidelity=fidelity):
+            start = time.perf_counter()
+            metrics = self.inner.evaluate(point, fidelity)
+            elapsed = time.perf_counter() - start
+        registry.histogram(f"evaluator.latency_s.fid{fidelity}").observe(elapsed)
         self._cache[key] = (fidelity, metrics)
         self.log.append(
             EvaluationRecord(

@@ -67,6 +67,23 @@ def format_search_report(
         f"unique points: {result.log.unique_points()}, "
         f"wall time in evaluators: {result.log.total_time_s:.1f} s"
     )
+    time_by_fidelity = result.log.time_by_fidelity()
+    if time_by_fidelity:
+        breakdown = ", ".join(
+            f"fid {fidelity}: {seconds:.2f} s"
+            for fidelity, seconds in sorted(time_by_fidelity.items())
+        )
+        lines.append(
+            f"evaluator time breakdown: total {result.log.total_time_s:.2f} s "
+            f"({breakdown})"
+        )
+    if result.cache_hits or result.cache_misses:
+        requests = result.cache_hits + result.cache_misses
+        rate = 100.0 * result.cache_hits / requests if requests else 0.0
+        lines.append(
+            f"evaluator cache: {result.cache_hits} hits / "
+            f"{result.cache_misses} misses ({rate:.1f}% hit rate)"
+        )
     lines.append(f"regions explored: {result.regions_explored}")
     lines.append(f"specification feasible: {result.feasible}")
     lines.append("")

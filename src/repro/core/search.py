@@ -37,6 +37,8 @@ from repro.core.grid import DEFAULT_MAX_GRID_POINTS, GridSample, Region
 from repro.core.objectives import DesignGoal
 from repro.core.parameters import DesignSpace, Point, frozen_point
 from repro.errors import InfeasibleSpecError
+from repro.observability.metrics import get_registry
+from repro.observability.trace import get_tracer
 
 
 @dataclass
@@ -70,6 +72,9 @@ class SearchResult:
     log: EvaluationLog
     regions_explored: int = 0
     method: str = "multiresolution"
+    #: Evaluator-cache accounting (filled by :class:`MetacoreSearch`).
+    cache_hits: int = 0
+    cache_misses: int = 0
 
     @property
     def best_point(self) -> Optional[Point]:
@@ -95,6 +100,7 @@ class SearchResult:
             f"method: {self.method}",
             f"evaluations: {self.log.n_evaluations} "
             f"(by fidelity {self.log.by_fidelity()})",
+            f"cache: {self.cache_hits} hits / {self.cache_misses} misses",
             f"regions explored: {self.regions_explored}",
             f"feasible: {self.feasible}",
         ]
@@ -135,24 +141,37 @@ class MetacoreSearch:
         """Execute the full search and return the best design found."""
         self._ranked.clear()
         self._regions_seen.clear()
-        self._search_region(Region.full(self.space), level=0)
-        best_key, metrics = self._confirm_winner()
-        best: Optional[EvaluationRecord] = None
-        feasible = False
-        if best_key is not None and metrics is not None:
-            best = EvaluationRecord(
-                point=best_key,
-                fidelity=self.evaluator.max_fidelity
-                if self.config.confirm_best
-                else 0,
-                metrics=dict(metrics),
+        with get_tracer().span("search.run") as run_span:
+            self._search_region(Region.full(self.space), level=0)
+            with get_tracer().span("search.confirm") as confirm_span:
+                before = self.log.n_evaluations
+                best_key, metrics = self._confirm_winner()
+                confirm_span.set(evaluations=self.log.n_evaluations - before)
+            best: Optional[EvaluationRecord] = None
+            feasible = False
+            if best_key is not None and metrics is not None:
+                best = EvaluationRecord(
+                    point=best_key,
+                    fidelity=self.evaluator.max_fidelity
+                    if self.config.confirm_best
+                    else 0,
+                    metrics=dict(metrics),
+                )
+                feasible = self.goal.is_feasible(metrics)
+            run_span.set(
+                evaluations=self.log.n_evaluations,
+                regions=len(self._regions_seen),
+                cache_hits=self.evaluator.cache_hits,
+                cache_misses=self.evaluator.cache_misses,
+                feasible=feasible,
             )
-            feasible = self.goal.is_feasible(metrics)
         return SearchResult(
             best=best,
             feasible=feasible,
             log=self.log,
             regions_explored=len(self._regions_seen),
+            cache_hits=self.evaluator.cache_hits,
+            cache_misses=self.evaluator.cache_misses,
         )
 
     def _confirm_winner(self) -> Tuple[Optional[Tuple], Optional[Metrics]]:
@@ -286,27 +305,43 @@ class MetacoreSearch:
         if region_key in self._regions_seen:
             return
         self._regions_seen.add(region_key)
-        resolution = level * self.config.resolution_increment
-        grid = region.grid(resolution, self.config.max_grid_points)
-        fidelity = self._fidelity_for_level(level)
-        evaluated = self._evaluate_grid(grid, fidelity)
-        if level >= self.config.max_resolution:
-            return
-        ranked = sorted(
-            evaluated,
-            key=cmp_to_key(lambda a, b: self.goal.compare(a[1], b[1])),
-        )
-        for point, metrics in ranked[: self.config.refine_top_k]:
-            if not math.isfinite(self.goal.primary.score(metrics)) and not math.isfinite(
-                self.goal.total_violation(metrics)
-            ):
-                continue  # nothing to learn from a dead region
-            # Refinement needs the *grid* point (pre-normalization) to
-            # locate neighbors; reconstruct it if normalization moved it.
-            grid_point = self._closest_grid_point(point, grid)
-            if grid_point is None:
-                continue
-            sub_region = region.refine_around(grid_point, grid.samples)
+        registry = get_registry()
+        registry.counter("search.regions").inc()
+        with get_tracer().span("search.region", level=level) as region_span:
+            resolution = level * self.config.resolution_increment
+            grid = region.grid(resolution, self.config.max_grid_points)
+            fidelity = self._fidelity_for_level(level)
+            evaluated = self._evaluate_grid(grid, fidelity)
+            registry.counter("search.grid_points").inc(len(grid.points))
+            region_span.set(
+                grid_points=len(grid.points),
+                evaluated=len(evaluated),
+                fidelity=fidelity,
+            )
+            if level >= self.config.max_resolution:
+                region_span.set(survivors=0)
+                return
+            ranked = sorted(
+                evaluated,
+                key=cmp_to_key(lambda a, b: self.goal.compare(a[1], b[1])),
+            )
+            survivors: List[Tuple[Point, Region]] = []
+            for point, metrics in ranked[: self.config.refine_top_k]:
+                if not math.isfinite(self.goal.primary.score(metrics)) and not math.isfinite(
+                    self.goal.total_violation(metrics)
+                ):
+                    continue  # nothing to learn from a dead region
+                # Refinement needs the *grid* point (pre-normalization) to
+                # locate neighbors; reconstruct it if normalization moved it.
+                grid_point = self._closest_grid_point(point, grid)
+                if grid_point is None:
+                    continue
+                survivors.append(
+                    (point, region.refine_around(grid_point, grid.samples))
+                )
+            region_span.set(survivors=len(survivors))
+            registry.counter("search.survivors").inc(len(survivors))
+        for _point, sub_region in survivors:
             self._search_region(sub_region, level + 1)
 
     @staticmethod

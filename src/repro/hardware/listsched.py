@@ -18,6 +18,8 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.errors import ConfigurationError
+from repro.observability.metrics import get_registry
+from repro.observability.trace import get_tracer
 
 #: Operation kinds with their (relative) single-cycle resource classes.
 OP_KINDS = ("mult", "add")
@@ -135,6 +137,20 @@ def list_schedule(
         if graph.count(kind) > 0 and resources.get(kind, 0) < 1:
             raise ConfigurationError(f"no {kind} units provided")
     n = len(graph.nodes)
+    with get_tracer().span(
+        "hardware.list_schedule", nodes=n, resources=dict(resources)
+    ) as sched_span:
+        schedule = _list_schedule(graph, resources, n)
+        sched_span.set(cycles=schedule.cycles)
+    registry = get_registry()
+    registry.counter("hardware.schedules").inc()
+    registry.counter("hardware.scheduled_nodes").inc(n)
+    return schedule
+
+
+def _list_schedule(
+    graph: DataflowGraph, resources: Dict[str, int], n: int
+) -> ListSchedule:
     mobility = graph.mobility()
     start = [-1] * n
     done = [False] * n

@@ -1,0 +1,62 @@
+"""Observability: span tracing, metrics, and run-telemetry export.
+
+The paper's search budget is dominated by evaluation time ("simulation
+times kept short", Sec. 4.4); this subsystem makes that budget visible.
+Three zero-dependency layers:
+
+- :mod:`repro.observability.trace` — lightweight spans with monotonic
+  timing, thread-local nesting, and a pluggable sink.  With no sink
+  installed every span is a shared no-op object, so instrumented hot
+  paths cost nothing when tracing is off.
+- :mod:`repro.observability.metrics` — counters, gauges, and
+  fixed-bucket histograms in a process-wide default registry.
+- :mod:`repro.observability.export` — a JSONL sink that persists
+  spans/events/metrics plus a summary reducer aggregating a trace file
+  into per-stage totals.
+"""
+
+from repro.observability.trace import (
+    Span,
+    Tracer,
+    get_tracer,
+    set_sink,
+    span,
+    trace_event,
+)
+from repro.observability.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    get_registry,
+)
+from repro.observability.export import (
+    JsonlSink,
+    TraceSummary,
+    format_trace_report,
+    install_tracing,
+    read_trace,
+    shutdown_tracing,
+    summarize_trace,
+)
+
+__all__ = [
+    "Span",
+    "Tracer",
+    "get_tracer",
+    "set_sink",
+    "span",
+    "trace_event",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "get_registry",
+    "JsonlSink",
+    "TraceSummary",
+    "format_trace_report",
+    "install_tracing",
+    "read_trace",
+    "shutdown_tracing",
+    "summarize_trace",
+]

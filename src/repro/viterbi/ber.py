@@ -16,6 +16,8 @@ from typing import List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.errors import ConfigurationError
+from repro.observability.metrics import get_registry
+from repro.observability.trace import get_tracer, trace_event
 from repro.utils.rng import derive_seed, make_rng
 from repro.utils.stats import binomial_confidence_interval, mean_improvement_percent
 from repro.viterbi.channel import AWGNChannel
@@ -182,19 +184,41 @@ class BERSimulator:
             raise ConfigurationError("max_bits smaller than one frame")
         channel = AWGNChannel(es_n0_db)
         master = self.seed if seed is None else int(seed)
+        registry = get_registry()
         total_errors = 0
         total_bits = 0
         batch = 0
-        while total_bits < max_bits:
-            batch_seed = derive_seed(
-                master, "ber", decoder.describe(), round(es_n0_db, 6), batch
+        early_stop = False
+        with get_tracer().span(
+            "ber.measure", es_n0_db=es_n0_db, max_bits=max_bits
+        ) as measure_span:
+            while total_bits < max_bits:
+                batch_seed = derive_seed(
+                    master, "ber", decoder.describe(), round(es_n0_db, 6), batch
+                )
+                errors, n_bits = self._run_batch(decoder, channel, batch_seed)
+                total_errors += errors
+                total_bits += n_bits
+                batch += 1
+                if target_errors is not None and total_errors >= target_errors:
+                    early_stop = total_bits < max_bits
+                    break
+            registry.counter("ber.frames").inc(batch * self.frames_per_batch)
+            registry.counter("ber.bits").inc(total_bits)
+            measure_span.set(
+                batches=batch,
+                bits=total_bits,
+                errors=total_errors,
+                early_stop=early_stop,
             )
-            errors, n_bits = self._run_batch(decoder, channel, batch_seed)
-            total_errors += errors
-            total_bits += n_bits
-            batch += 1
-            if target_errors is not None and total_errors >= target_errors:
-                break
+            if early_stop:
+                registry.counter("ber.early_stops").inc()
+                trace_event(
+                    "ber.early_stop",
+                    es_n0_db=es_n0_db,
+                    bits=total_bits,
+                    errors=total_errors,
+                )
         return BERPoint(es_n0_db=es_n0_db, bits=total_bits, errors=total_errors)
 
     def sweep(

@@ -96,5 +96,35 @@ class TestCommands:
         parser = build_parser()
         args3 = parser.parse_args(["table3", "--max-resolution", "1"])
         assert args3.func.__name__ == "cmd_table3"
+        assert args3.trace is None
         args4 = parser.parse_args(["table4", "--top-k", "2"])
         assert args4.func.__name__ == "cmd_table4"
+        assert args4.trace is None
+
+
+class TestTracing:
+    def test_trace_flag_then_report(self, capsys, tmp_path):
+        trace_file = tmp_path / "run.jsonl"
+        code = main(
+            [
+                "viterbi-search", "--ber", "5e-2", "--es-n0-db", "4.0",
+                "--throughput", "1e6", "--max-resolution", "1",
+                "--top-k", "1", "--trace", str(trace_file),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "trace written to" in out
+        assert "cache:" in out
+        assert trace_file.exists()
+
+        assert main(["trace-report", str(trace_file)]) == 0
+        out = capsys.readouterr().out
+        assert "search.region" in out
+        assert "ber.measure" in out
+        assert "hit rate" in out
+
+    def test_trace_report_missing_file(self, capsys, tmp_path):
+        code = main(["trace-report", str(tmp_path / "nope.jsonl")])
+        assert code == 1
+        assert "cannot read" in capsys.readouterr().err
