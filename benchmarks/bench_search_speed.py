@@ -1,0 +1,162 @@
+"""Benchmark: parallel grid evaluation and the persistent cache.
+
+Times a fixed table3-style multiresolution search three ways and writes
+``BENCH_search.json`` at the repo root:
+
+- ``serial_cold``   — 1 worker, empty persistent cache;
+- ``parallel_cold`` — 4 workers, empty persistent cache;
+- ``serial_warm``   — 1 worker, cache pre-populated by the cold run.
+
+The evaluator is a *simulated* Table-3 cost model: it returns
+deterministic pseudo-metrics derived from the design point and models
+the Monte-Carlo simulation bill with a ``time.sleep`` per fidelity
+level (the real evaluator's cost is wall-clock spent simulating, which
+a sleep reproduces faithfully without requiring N free cores on the
+benchmark machine — CI boxes often pin this benchmark to one CPU, where
+a CPU-bound workload could never show process-level overlap).  The
+search machinery exercised — grid batching, process fan-out, result
+ordering, persistent-cache lookups — is exactly the production path.
+
+Run with::
+
+    PYTHONPATH=src python benchmarks/bench_search_speed.py
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import sys
+import tempfile
+import time
+from pathlib import Path
+from typing import Dict
+
+from repro.core.evaluation import EvaluationLog  # noqa: F401  (import check)
+from repro.core.objectives import DesignGoal, Objective
+from repro.core.parallel import ParallelEvaluator
+from repro.core.evalcache import PersistentEvalCache
+from repro.core.parameters import Correlation, DesignSpace, DiscreteParameter, Point
+from repro.core.search import MetacoreSearch, SearchConfig
+
+#: Simulated evaluation bill per fidelity level (seconds of "simulation").
+SLEEP_PER_FIDELITY = (0.004, 0.010, 0.020, 0.045)
+
+WORKERS = 4
+
+
+class SimulatedTable3Evaluator:
+    """Deterministic stand-in for the Viterbi Table-3 cost engine.
+
+    Metrics are a pure function of the design point (hash-derived), so
+    serial, parallel, and cached runs agree bit-for-bit; the cost of an
+    evaluation is a sleep scaled by fidelity, modelling the Monte-Carlo
+    run time the real evaluator pays.
+    """
+
+    def __init__(self) -> None:
+        self.max_fidelity = len(SLEEP_PER_FIDELITY) - 1
+
+    def fingerprint(self) -> str:
+        return f"bench-table3:v1:sleeps={SLEEP_PER_FIDELITY}"
+
+    def evaluate(self, point: Point, fidelity: int) -> Dict[str, float]:
+        time.sleep(SLEEP_PER_FIDELITY[fidelity])
+        digest = hashlib.md5(
+            repr(sorted(point.items())).encode("utf-8")
+        ).digest()
+        area = 1.0 + int.from_bytes(digest[:4], "big") / 2**32 * 9.0
+        ber_exp = 2.0 + int.from_bytes(digest[4:8], "big") / 2**32 * 7.0
+        return {"area_mm2": area, "ber_exponent": ber_exp}
+
+
+def bench_space() -> DesignSpace:
+    """A Table-2-shaped discrete space (same axis cardinalities)."""
+    return DesignSpace(
+        [
+            DiscreteParameter("K", (3, 4, 5, 6, 7), Correlation.MONOTONIC),
+            DiscreteParameter(
+                "L_mult", (1, 2, 3, 4, 5, 6, 7), Correlation.MONOTONIC
+            ),
+            DiscreteParameter("R1", (1, 2, 3), Correlation.MONOTONIC),
+            DiscreteParameter("R2", (2, 3, 4, 5), Correlation.MONOTONIC),
+            DiscreteParameter(
+                "M", (0, 1, 2, 4, 8, 16, 32, 64), Correlation.MONOTONIC
+            ),
+        ]
+    )
+
+
+def run_search(workers: int, cache_path: Path):
+    """One table3-style search; returns (SearchResult, wall_seconds)."""
+    evaluator = SimulatedTable3Evaluator()
+    parallel = None
+    if workers > 1:
+        parallel = ParallelEvaluator(evaluator, workers=workers)
+    store = PersistentEvalCache(cache_path)
+    searcher = MetacoreSearch(
+        bench_space(),
+        DesignGoal(objectives=[Objective("area_mm2")]),
+        parallel if parallel is not None else evaluator,
+        config=SearchConfig(max_resolution=2, refine_top_k=3),
+        store=store,
+    )
+    start = time.perf_counter()
+    try:
+        result = searcher.run()
+    finally:
+        if parallel is not None:
+            parallel.close()
+        store.close()
+    return result, time.perf_counter() - start
+
+
+def main() -> int:
+    repo_root = Path(__file__).resolve().parent.parent
+    with tempfile.TemporaryDirectory() as tmp:
+        tmp_path = Path(tmp)
+
+        serial_result, serial_cold_s = run_search(
+            1, tmp_path / "serial.jsonl"
+        )
+        parallel_result, parallel_cold_s = run_search(
+            WORKERS, tmp_path / "parallel.jsonl"
+        )
+        warm_result, serial_warm_s = run_search(
+            1, tmp_path / "serial.jsonl"
+        )
+
+    assert serial_result.best_point == parallel_result.best_point, (
+        "parallel search diverged from serial"
+    )
+    assert serial_result.best_point == warm_result.best_point, (
+        "warm search diverged from cold"
+    )
+    parallel_speedup = serial_cold_s / parallel_cold_s
+    warm_speedup = serial_cold_s / serial_warm_s
+    report = {
+        "benchmark": "table3-style multiresolution search (simulated costs)",
+        "workers": WORKERS,
+        "evaluations": serial_result.log.n_evaluations,
+        "serial_cold_s": round(serial_cold_s, 4),
+        "parallel_cold_s": round(parallel_cold_s, 4),
+        "serial_warm_s": round(serial_warm_s, 4),
+        "parallel_speedup": round(parallel_speedup, 2),
+        "warm_speedup": round(warm_speedup, 2),
+        "warm_persistent_hits": warm_result.persistent_hits,
+    }
+    out = repo_root / "BENCH_search.json"
+    out.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
+    print(json.dumps(report, indent=2))
+    ok = parallel_speedup >= 2.0 and warm_speedup >= 5.0
+    if not ok:
+        print(
+            f"FAIL: need >=2x parallel (got {parallel_speedup:.2f}x) "
+            f"and >=5x warm (got {warm_speedup:.2f}x)",
+            file=sys.stderr,
+        )
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

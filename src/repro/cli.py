@@ -82,6 +82,24 @@ def _tracing(args: argparse.Namespace) -> Iterator[None]:
         print(f"trace written to {trace_path} ({sink.n_records} records)")
 
 
+def _add_parallel_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        metavar="N",
+        help="evaluate grid points over N worker processes (default 1 = "
+        "serial; results are bit-identical either way)",
+    )
+    parser.add_argument(
+        "--cache",
+        metavar="FILE",
+        default=None,
+        help="persistent evaluation cache (JSONL); reruns of the same "
+        "specification start warm and skip already-priced points",
+    )
+
+
 def _add_viterbi_point_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--k", type=int, default=5, help="constraint length K")
     parser.add_argument(
@@ -142,7 +160,11 @@ def cmd_viterbi_search(args: argparse.Namespace) -> int:
         max_resolution=args.max_resolution, refine_top_k=args.top_k
     )
     metacore = ViterbiMetaCore(
-        spec, fixed={"G": "standard", "N": 1}, config=config
+        spec,
+        fixed={"G": "standard", "N": 1},
+        config=config,
+        workers=args.workers,
+        cache_path=args.cache,
     )
     with _tracing(args):
         result = metacore.search()
@@ -213,7 +235,9 @@ def cmd_iir_search(args: argparse.Namespace) -> int:
     config = SearchConfig(
         max_resolution=args.max_resolution, refine_top_k=args.top_k
     )
-    metacore = IIRMetaCore(spec, config=config)
+    metacore = IIRMetaCore(
+        spec, config=config, workers=args.workers, cache_path=args.cache
+    )
     with _tracing(args):
         result = metacore.search()
     print(result.summary())
@@ -261,6 +285,8 @@ def cmd_table3(args: argparse.Namespace) -> int:
             config=SearchConfig(
                 max_resolution=args.max_resolution, refine_top_k=args.top_k
             ),
+            workers=args.workers,
+            cache_path=args.cache,
         )
         return metacore.search()
 
@@ -296,6 +322,8 @@ def cmd_table4(args: argparse.Namespace) -> int:
             config=SearchConfig(
                 max_resolution=args.max_resolution, refine_top_k=args.top_k
             ),
+            workers=args.workers,
+            cache_path=args.cache,
         )
         return metacore.search()
 
@@ -360,6 +388,7 @@ def build_parser() -> argparse.ArgumentParser:
     search.add_argument("--feature-um", type=float, default=0.25)
     search.add_argument("--max-resolution", type=int, default=2)
     search.add_argument("--top-k", type=int, default=3)
+    _add_parallel_args(search)
     _add_trace_arg(search)
     search.set_defaults(func=cmd_viterbi_search)
 
@@ -389,6 +418,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     iir.add_argument("--max-resolution", type=int, default=3)
     iir.add_argument("--top-k", type=int, default=4)
+    _add_parallel_args(iir)
     _add_trace_arg(iir)
     iir.set_defaults(func=cmd_iir_search)
 
@@ -412,6 +442,7 @@ def build_parser() -> argparse.ArgumentParser:
     table3.add_argument("--es-n0-db", type=float, default=2.0)
     table3.add_argument("--max-resolution", type=int, default=2)
     table3.add_argument("--top-k", type=int, default=3)
+    _add_parallel_args(table3)
     _add_trace_arg(table3)
     table3.set_defaults(func=cmd_table3)
 
@@ -420,6 +451,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     table4.add_argument("--max-resolution", type=int, default=3)
     table4.add_argument("--top-k", type=int, default=4)
+    _add_parallel_args(table4)
     _add_trace_arg(table4)
     table4.set_defaults(func=cmd_table4)
 

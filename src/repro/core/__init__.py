@@ -23,13 +23,16 @@ from repro.core.objectives import (
     Direction,
     Objective,
 )
+from repro.core.evalcache import PersistentEvalCache, evaluator_fingerprint
 from repro.core.evaluation import (
     CachingEvaluator,
     EvaluationLog,
     EvaluationRecord,
     Evaluator,
     FunctionEvaluator,
+    TimedEvaluation,
 )
+from repro.core.parallel import ParallelEvaluator
 from repro.core.grid import GridSample, Region
 from repro.core.interpolate import (
     MetricInterpolator,
@@ -78,6 +81,10 @@ __all__ = [
     "EvaluationRecord",
     "Evaluator",
     "FunctionEvaluator",
+    "ParallelEvaluator",
+    "PersistentEvalCache",
+    "TimedEvaluation",
+    "evaluator_fingerprint",
     "GridSample",
     "Region",
     "MetricInterpolator",

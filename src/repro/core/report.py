@@ -65,7 +65,8 @@ def format_search_report(
         f"evaluations: {result.log.n_evaluations} "
         f"(by fidelity {result.log.by_fidelity()}), "
         f"unique points: {result.log.unique_points()}, "
-        f"wall time in evaluators: {result.log.total_time_s:.1f} s"
+        f"evaluator cpu time: {result.log.cpu_time_s:.1f} s, "
+        f"wall time: {result.log.wall_time_s:.1f} s"
     )
     time_by_fidelity = result.log.time_by_fidelity()
     if time_by_fidelity:
@@ -77,12 +78,15 @@ def format_search_report(
             f"evaluator time breakdown: total {result.log.total_time_s:.2f} s "
             f"({breakdown})"
         )
-    if result.cache_hits or result.cache_misses:
-        requests = result.cache_hits + result.cache_misses
+    if result.cache_hits or result.cache_misses or result.persistent_hits:
+        requests = (
+            result.cache_hits + result.cache_misses + result.persistent_hits
+        )
         rate = 100.0 * result.cache_hits / requests if requests else 0.0
         lines.append(
             f"evaluator cache: {result.cache_hits} hits / "
-            f"{result.cache_misses} misses ({rate:.1f}% hit rate)"
+            f"{result.cache_misses} misses / "
+            f"{result.persistent_hits} persistent-hits ({rate:.1f}% hit rate)"
         )
     lines.append(f"regions explored: {result.regions_explored}")
     lines.append(f"specification feasible: {result.feasible}")

@@ -26,6 +26,7 @@ from functools import cmp_to_key
 from typing import Callable, Dict, List, Optional, Set, Tuple
 
 from repro.core.bayes import BayesianBERPredictor
+from repro.core.evalcache import PersistentEvalCache
 from repro.core.evaluation import (
     CachingEvaluator,
     EvaluationLog,
@@ -75,6 +76,8 @@ class SearchResult:
     #: Evaluator-cache accounting (filled by :class:`MetacoreSearch`).
     cache_hits: int = 0
     cache_misses: int = 0
+    #: Requests answered by the on-disk cross-run cache (warm starts).
+    persistent_hits: int = 0
 
     @property
     def best_point(self) -> Optional[Point]:
@@ -100,7 +103,10 @@ class SearchResult:
             f"method: {self.method}",
             f"evaluations: {self.log.n_evaluations} "
             f"(by fidelity {self.log.by_fidelity()})",
-            f"cache: {self.cache_hits} hits / {self.cache_misses} misses",
+            f"cache: {self.cache_hits} hits / {self.cache_misses} misses"
+            f" / {self.persistent_hits} persistent-hits",
+            f"time: cpu {self.log.cpu_time_s:.3f}s"
+            f" / wall {self.log.wall_time_s:.3f}s",
             f"regions explored: {self.regions_explored}",
             f"feasible: {self.feasible}",
         ]
@@ -124,13 +130,14 @@ class MetacoreSearch:
         evaluator: Evaluator,
         config: Optional[SearchConfig] = None,
         normalizer: Optional[PointNormalizer] = None,
+        store: Optional[PersistentEvalCache] = None,
     ) -> None:
         self.space = space
         self.goal = goal
         self.config = config or SearchConfig()
         self.normalizer = normalizer
         self.log = EvaluationLog()
-        self.evaluator = CachingEvaluator(evaluator, self.log)
+        self.evaluator = CachingEvaluator(evaluator, self.log, store=store)
         self.predictor = BayesianBERPredictor(space)
         self._ranked: Dict[Tuple, Metrics] = {}
         self._regions_seen: Set[Tuple] = set()
@@ -163,6 +170,7 @@ class MetacoreSearch:
                 regions=len(self._regions_seen),
                 cache_hits=self.evaluator.cache_hits,
                 cache_misses=self.evaluator.cache_misses,
+                persistent_hits=self.evaluator.persistent_hits,
                 feasible=feasible,
             )
         return SearchResult(
@@ -172,6 +180,7 @@ class MetacoreSearch:
             regions_explored=len(self._regions_seen),
             cache_hits=self.evaluator.cache_hits,
             cache_misses=self.evaluator.cache_misses,
+            persistent_hits=self.evaluator.persistent_hits,
         )
 
     def _confirm_winner(self) -> Tuple[Optional[Tuple], Optional[Metrics]]:
@@ -196,6 +205,15 @@ class MetacoreSearch:
         best_key: Optional[Tuple] = None
         best_metrics: Optional[Metrics] = None
         top_k = max(1, self.config.confirm_top_k)
+        # The first top_k confirmations always happen — batch them so a
+        # parallel evaluator overlaps the expensive full-fidelity runs.
+        # The loop below then answers them from the cache; running this
+        # prefetch unconditionally keeps the cache counters (and thus
+        # the SearchResult) identical between serial and parallel modes.
+        self.evaluator.evaluate_many(
+            [dict(key) for key in ranked_keys[:top_k]],
+            self.evaluator.max_fidelity,
+        )
         # When the apparent winners turn out infeasible on confirmation
         # (noisy cheap estimates near a constraint boundary), keep
         # walking the ranked list a while before giving up — but only
@@ -236,8 +254,16 @@ class MetacoreSearch:
     def _evaluate_grid(
         self, grid: GridSample, fidelity: int
     ) -> List[Tuple[Point, Metrics]]:
-        """Evaluate a grid, applying the Bayesian BER regularization."""
-        results: List[Tuple[Point, Metrics]] = []
+        """Evaluate a grid, applying the Bayesian BER regularization.
+
+        The whole grid round is handed to the evaluator as one batch —
+        grid evaluations are independent (Sec. 4.4), so a parallel
+        evaluator can fan them out over worker processes.  Bayesian
+        regularization then runs in grid order, which keeps the
+        predictor's state (and therefore the search) identical between
+        serial and parallel runs.
+        """
+        points: List[Point] = []
         seen: Set[Tuple] = set()
         for raw_point in grid.points:
             point = self._normalize(dict(raw_point))
@@ -245,9 +271,12 @@ class MetacoreSearch:
             if key in seen:
                 continue  # normalization may collapse grid points
             seen.add(key)
-            metrics = dict(self.evaluator.evaluate(point, fidelity))
-            metrics = self._apply_bayes(point, metrics)
-            self._record_ranked(key, metrics)
+            points.append(point)
+        evaluated = self.evaluator.evaluate_many(points, fidelity)
+        results: List[Tuple[Point, Metrics]] = []
+        for point, raw_metrics in zip(points, evaluated):
+            metrics = self._apply_bayes(point, dict(raw_metrics))
+            self._record_ranked(frozen_point(point), metrics)
             results.append((point, metrics))
         return results
 

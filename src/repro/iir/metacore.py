@@ -17,7 +17,9 @@ import math
 from dataclasses import dataclass, field
 from typing import Dict, Optional, Tuple
 
+from repro.core.evalcache import PersistentEvalCache
 from repro.core.objectives import Constraint, DesignGoal, Objective
+from repro.core.parallel import ParallelEvaluator
 from repro.core.parameters import (
     ContinuousParameter,
     Correlation,
@@ -173,6 +175,18 @@ class IIRMetacoreEvaluator:
         self.max_fidelity = len(FIDELITY_GRID_POINTS) - 1
         self._realizations: Dict[Tuple[str, str, float], Realization] = {}
 
+    def fingerprint(self) -> str:
+        """Cross-run cache key over the spec and evaluation settings."""
+        import repro
+
+        return (
+            f"iir:v{repro.__version__}"
+            f":grids={FIDELITY_GRID_POINTS}"
+            f":period={self.spec.sample_period_us:.6g}"
+            f":feature={self.spec.feature_um:.6g}"
+            f":spec={self.spec.filter_spec!r}"
+        )
+
     # ------------------------------------------------------------------
 
     def _realization(
@@ -238,6 +252,10 @@ class IIRMetaCore:
     spec: IIRSpec
     fixed: Dict[str, object] = field(default_factory=dict)
     config: Optional[SearchConfig] = None
+    #: Worker processes for grid evaluation (1 = serial in-process).
+    workers: int = 1
+    #: Path of the persistent cross-run evaluation cache (None = cold).
+    cache_path: Optional[str] = None
 
     def design_space(self) -> DesignSpace:
         """Structure x family x word length x ripple allocation."""
@@ -245,14 +263,28 @@ class IIRMetaCore:
 
     def search(self) -> SearchResult:
         """Run the multiresolution search for this specification."""
-        evaluator = IIRMetacoreEvaluator(self.spec)
-        searcher = MetacoreSearch(
-            self.design_space(),
-            self.spec.goal(),
-            evaluator,
-            config=self.config,
-        )
-        return searcher.run()
+        evaluator: object = IIRMetacoreEvaluator(self.spec)
+        parallel: Optional[ParallelEvaluator] = None
+        store: Optional[PersistentEvalCache] = None
+        try:
+            if self.workers and self.workers > 1:
+                parallel = ParallelEvaluator(evaluator, workers=self.workers)
+                evaluator = parallel
+            if self.cache_path:
+                store = PersistentEvalCache(self.cache_path)
+            searcher = MetacoreSearch(
+                self.design_space(),
+                self.spec.goal(),
+                evaluator,
+                config=self.config,
+                store=store,
+            )
+            return searcher.run()
+        finally:
+            if parallel is not None:
+                parallel.close()
+            if store is not None:
+                store.close()
 
     def build(self, point: Point) -> Realization:
         """The quantized realization a design point describes."""

@@ -51,6 +51,9 @@ class JsonlSink:
             if self._file is None:
                 return
             self._file.write(line + "\n")
+            # Keep the buffer empty so a forked worker never inherits
+            # (and re-flushes at exit) half-written parent records.
+            self._file.flush()
             self.n_records += 1
 
     def write_metrics(self, registry: Optional[MetricsRegistry] = None) -> None:
@@ -228,19 +231,35 @@ def format_trace_report(summary: TraceSummary) -> str:
             lines.append(f"  {name:<30s} {summary.events[name]:>7d}")
     hits = summary.counter_value("evaluator.cache_hits")
     misses = summary.counter_value("evaluator.cache_misses")
-    if hits or misses:
-        total = hits + misses
+    persistent = summary.counter_value("evaluator.persistent_hits")
+    if hits or misses or persistent:
+        total = hits + misses + persistent
         rate = 100.0 * hits / total if total else 0.0
         lines.append("")
         lines.append(
-            f"evaluator cache: {int(hits)} hits / {int(misses)} misses "
-            f"({rate:.1f}% hit rate)"
+            f"evaluator cache: {int(hits)} hits / {int(misses)} misses / "
+            f"{int(persistent)} persistent-hits ({rate:.1f}% hit rate)"
+        )
+    cpu_s = summary.counter_value("evaluator.cpu_s")
+    wall_s = summary.counter_value("evaluator.wall_s")
+    if cpu_s or wall_s:
+        speedup = cpu_s / wall_s if wall_s > 0 else 1.0
+        lines.append(
+            f"evaluator time: cpu {cpu_s:.3f}s / wall {wall_s:.3f}s "
+            f"({speedup:.2f}x parallel speedup)"
         )
     counters = {
         name: snap
         for name, snap in sorted(summary.metrics.items())
         if snap.get("type") == "counter"
-        and name not in ("evaluator.cache_hits", "evaluator.cache_misses")
+        and name
+        not in (
+            "evaluator.cache_hits",
+            "evaluator.cache_misses",
+            "evaluator.persistent_hits",
+            "evaluator.cpu_s",
+            "evaluator.wall_s",
+        )
     }
     if counters:
         lines.append("")

@@ -14,7 +14,7 @@ from repro.viterbi.polynomials import (
     to_octal,
 )
 from repro.viterbi.encoder import ConvolutionalEncoder
-from repro.viterbi.trellis import Trellis
+from repro.viterbi.trellis import Trellis, trellis_for
 from repro.viterbi.channels import (
     BinarySymmetricChannel,
     RayleighFadingChannel,
@@ -34,7 +34,7 @@ from repro.viterbi.quantize import (
     make_quantizer,
 )
 from repro.viterbi.diagram import encoder_diagram, trellis_section_diagram
-from repro.viterbi.metrics import BranchMetricTable
+from repro.viterbi.metrics import BranchMetricTable, shared_metric_table
 from repro.viterbi.decoder import ViterbiDecoder
 from repro.viterbi.multires import (
     NORMALIZATION_METHODS,
@@ -74,6 +74,8 @@ __all__ = [
     "encode_tailbiting",
     "encoder_diagram",
     "trellis_section_diagram",
+    "trellis_for",
+    "shared_metric_table",
     "PuncturePattern",
     "STANDARD_PATTERNS",
     "standard_pattern",

@@ -21,7 +21,7 @@ from typing import Optional, Tuple
 import numpy as np
 
 from repro.errors import ConfigurationError
-from repro.viterbi.metrics import BranchMetricTable
+from repro.viterbi.metrics import shared_metric_table
 from repro.viterbi.quantize import Quantizer
 from repro.viterbi.trellis import Trellis
 
@@ -55,7 +55,7 @@ class ViterbiDecoder:
         self.trellis = trellis
         self.quantizer = quantizer
         self.traceback_depth = int(traceback_depth)
-        self.metric_table = BranchMetricTable(trellis, quantizer)
+        self.metric_table = shared_metric_table(trellis, quantizer)
 
     # ------------------------------------------------------------------
     # Forward pass

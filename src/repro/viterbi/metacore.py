@@ -18,7 +18,9 @@ import math
 from dataclasses import dataclass, field
 from typing import Dict, Optional, Tuple
 
+from repro.core.evalcache import PersistentEvalCache
 from repro.core.objectives import BERThresholdCurve, DesignGoal, Objective
+from repro.core.parallel import ParallelEvaluator
 from repro.core.parameters import (
     Correlation,
     DesignSpace,
@@ -36,7 +38,7 @@ from repro.viterbi.encoder import ConvolutionalEncoder
 from repro.viterbi.multires import MultiresolutionViterbiDecoder
 from repro.viterbi.polynomials import default_polynomials
 from repro.viterbi.quantize import HardQuantizer, make_quantizer
-from repro.viterbi.trellis import Trellis
+from repro.viterbi.trellis import trellis_for
 
 #: Es/N0 penalty (dB) of fixed relative to adaptive quantization in the
 #: analytic estimate (the fixed decision level is mistuned off its
@@ -191,8 +193,7 @@ def build_decoder(point: Point) -> ViterbiDecoder:
     """Construct the concrete decoder a design point describes."""
     point = normalize_viterbi_point(point)
     k = int(point["K"])
-    encoder = ConvolutionalEncoder(k, polynomials_for_point(point))
-    trellis = Trellis.from_encoder(encoder)
+    trellis = trellis_for(k, polynomials_for_point(point))
     depth = traceback_depth(point)
     r1 = int(point["R1"])
     method = str(point["Q"])
@@ -266,6 +267,30 @@ class ViterbiMetacoreEvaluator:
         self.spec = spec
         self.max_fidelity = len(FIDELITY_BUDGETS) - 1
         self._simulators: Dict[Tuple[int, Tuple[int, ...]], BERSimulator] = {}
+
+    def fingerprint(self) -> str:
+        """Cross-run cache key: everything that can change a metric.
+
+        Covers the code version, the Monte-Carlo seed, the fidelity
+        budgets, and the full specification (throughput, feature size,
+        BER curve) — a change to any of these must orphan cached
+        evaluations.
+        """
+        import repro
+
+        curve = ";".join(
+            f"{es:.6g}:{thr:.6g}" for es, thr in self.spec.ber_curve.points
+        )
+        return (
+            f"viterbi:v{repro.__version__}"
+            f":seed={self.spec.seed}"
+            f":budgets={FIDELITY_BUDGETS}"
+            f":top=({TOP_FIDELITY_ERRORS_AT_THRESHOLD},{TOP_FIDELITY_MAX_BITS})"
+            f":fixed_penalty={FIXED_QUANTIZATION_PENALTY_DB}"
+            f":throughput={self.spec.throughput_bps:.6g}"
+            f":feature={self.spec.feature_um:.6g}"
+            f":curve={curve}"
+        )
 
     # -- BER ------------------------------------------------------------
 
@@ -387,6 +412,10 @@ class ViterbiMetaCore:
     spec: ViterbiSpec
     fixed: Dict[str, object] = field(default_factory=dict)
     config: Optional[SearchConfig] = None
+    #: Worker processes for grid evaluation (1 = serial in-process).
+    workers: int = 1
+    #: Path of the persistent cross-run evaluation cache (None = cold).
+    cache_path: Optional[str] = None
 
     def design_space(self) -> DesignSpace:
         """The Table-2 space with this MetaCore's fixed parameters."""
@@ -394,15 +423,29 @@ class ViterbiMetaCore:
 
     def search(self) -> SearchResult:
         """Run the multiresolution search for this specification."""
-        evaluator = ViterbiMetacoreEvaluator(self.spec)
-        searcher = MetacoreSearch(
-            self.design_space(),
-            self.spec.goal(),
-            evaluator,
-            config=self.config,
-            normalizer=normalize_viterbi_point,
-        )
-        return searcher.run()
+        evaluator: object = ViterbiMetacoreEvaluator(self.spec)
+        parallel: Optional[ParallelEvaluator] = None
+        store: Optional[PersistentEvalCache] = None
+        try:
+            if self.workers and self.workers > 1:
+                parallel = ParallelEvaluator(evaluator, workers=self.workers)
+                evaluator = parallel
+            if self.cache_path:
+                store = PersistentEvalCache(self.cache_path)
+            searcher = MetacoreSearch(
+                self.design_space(),
+                self.spec.goal(),
+                evaluator,
+                config=self.config,
+                normalizer=normalize_viterbi_point,
+                store=store,
+            )
+            return searcher.run()
+        finally:
+            if parallel is not None:
+                parallel.close()
+            if store is not None:
+                store.close()
 
     def build(self, point: Point) -> ViterbiDecoder:
         """Construct the concrete decoder for a design point."""

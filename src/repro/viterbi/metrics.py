@@ -12,6 +12,9 @@ decoding.
 
 from __future__ import annotations
 
+import threading
+from typing import Dict, Tuple
+
 import numpy as np
 
 from repro.viterbi.quantize import Quantizer
@@ -72,3 +75,31 @@ class BranchMetricTable:
         ideal = self.ideal_levels[states]  # (frames, m, 2, n)
         diff = np.abs(levels[:, np.newaxis, np.newaxis, :] - ideal)
         return diff.sum(axis=-1)
+
+
+_TABLE_CACHE: Dict[Tuple, BranchMetricTable] = {}
+_TABLE_LOCK = threading.Lock()
+
+
+def shared_metric_table(
+    trellis: Trellis, quantizer: Quantizer
+) -> BranchMetricTable:
+    """A memoized :class:`BranchMetricTable` for a (code, quantizer) pair.
+
+    Design points differing only in ``L``/``M`` share a code and a
+    quantizer spec, so their (identical) metric tables are built once
+    and shared.  The table is read-only after construction, which makes
+    the shared instance safe; quantizers whose
+    :meth:`~repro.viterbi.quantize.Quantizer.cache_key` is ``None``
+    (unknown subclasses) always get a fresh table.
+    """
+    spec = quantizer.cache_key()
+    if spec is None:
+        return BranchMetricTable(trellis, quantizer)
+    key = (trellis.cache_key(), spec)
+    with _TABLE_LOCK:
+        table = _TABLE_CACHE.get(key)
+        if table is None:
+            table = BranchMetricTable(trellis, quantizer)
+            _TABLE_CACHE[key] = table
+    return table

@@ -26,7 +26,7 @@ import numpy as np
 
 from repro.errors import ConfigurationError
 from repro.viterbi.decoder import ViterbiDecoder
-from repro.viterbi.metrics import BranchMetricTable
+from repro.viterbi.metrics import shared_metric_table
 from repro.viterbi.quantize import Quantizer
 from repro.viterbi.trellis import Trellis
 
@@ -94,7 +94,7 @@ class MultiresolutionViterbiDecoder(ViterbiDecoder):
         self.multires_paths = int(multires_paths)
         self.normalization_count = int(normalization_count)
         self.normalization_method = normalization_method
-        self.high_metric_table = BranchMetricTable(trellis, high_quantizer)
+        self.high_metric_table = shared_metric_table(trellis, high_quantizer)
         # Static scale aligning the high-resolution metric range with
         # the low-resolution one (used by the "scale-offset" method).
         self._scale = (

@@ -24,7 +24,7 @@ decoder treats ``R1 = 1`` low-resolution updates.
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import Optional
+from typing import Optional, Tuple
 
 import numpy as np
 
@@ -58,6 +58,17 @@ class Quantizer(ABC):
     @abstractmethod
     def decision_level(self, sigma: Optional[float]) -> float:
         """The level spacing ``D`` used for the given channel noise."""
+
+    def cache_key(self) -> Optional[Tuple]:
+        """A hashable spec identifying this quantizer's exact behavior.
+
+        Used to memoize derived tables (branch metrics) across design
+        points that share a quantizer configuration.  Subclasses whose
+        behavior is fully captured by their constructor arguments return
+        those; unknown subclasses return ``None``, which disables
+        sharing rather than risking a false match.
+        """
+        return None
 
     def quantize(self, samples: np.ndarray, sigma: Optional[float] = None) -> np.ndarray:
         """Quantize analog samples to integer levels.
@@ -110,6 +121,9 @@ class HardQuantizer(Quantizer):
     def decision_level(self, sigma: Optional[float]) -> float:
         return 0.0
 
+    def cache_key(self) -> Tuple:
+        return ("hard", 1)
+
 
 class FixedQuantizer(Quantizer):
     """Uniform quantizer with a channel-independent decision level."""
@@ -124,6 +138,9 @@ class FixedQuantizer(Quantizer):
 
     def decision_level(self, sigma: Optional[float]) -> float:
         return self._decision_level
+
+    def cache_key(self) -> Tuple:
+        return ("fixed", self.bits, self._decision_level)
 
 
 class AdaptiveQuantizer(Quantizer):
@@ -140,6 +157,9 @@ class AdaptiveQuantizer(Quantizer):
         if spacing_factor <= 0:
             raise ConfigurationError("spacing factor must be positive")
         self.spacing_factor = float(spacing_factor)
+
+    def cache_key(self) -> Tuple:
+        return ("adaptive", self.bits, self.spacing_factor)
 
     def decision_level(self, sigma: Optional[float]) -> float:
         if sigma is None:

@@ -10,7 +10,8 @@ this is precomputed once per code here.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Tuple
+from functools import lru_cache
+from typing import Sequence, Tuple
 
 import numpy as np
 
@@ -85,6 +86,10 @@ class Trellis:
         shift = self.constraint_length - 2
         return (np.asarray(state) >> shift) & 1
 
+    def cache_key(self) -> Tuple[int, Tuple[int, ...]]:
+        """The identity of this trellis for memoization purposes."""
+        return self.constraint_length, self.polynomials
+
     def describe(self) -> str:
         """Human-readable branch table (the textual form of Fig. 3)."""
         lines = [
@@ -100,3 +105,25 @@ class Trellis:
                     f"  {pred:>3} --{bit}/{sym}--> {state:>3}"
                 )
         return "\n".join(lines)
+
+
+@lru_cache(maxsize=64)
+def _trellis_for_cached(
+    constraint_length: int, polynomials: Tuple[int, ...]
+) -> Trellis:
+    encoder = ConvolutionalEncoder(constraint_length, polynomials)
+    return Trellis.from_encoder(encoder)
+
+
+def trellis_for(
+    constraint_length: int, polynomials: Sequence[int]
+) -> Trellis:
+    """The (memoized) trellis of a convolutional code.
+
+    Many design points of a search differ only in ``L``/``M`` and share
+    a code; building the trellis once per ``(K, polynomials)`` pair
+    avoids rebuilding identical tables on every evaluation.  The
+    returned :class:`Trellis` is frozen and its arrays are treated as
+    read-only by the decoders, so sharing one instance is safe.
+    """
+    return _trellis_for_cached(int(constraint_length), tuple(polynomials))
