@@ -11,6 +11,10 @@ related parameters"; this CLI exposes the same controls::
     metacores spectrum       --k 7
     metacores viterbi-search --ber 1e-2 --throughput 1e6 --trace run.jsonl
     metacores trace-report   run.jsonl
+    metacores viterbi-search --ber 1e-2 --throughput 1e6 \
+                             --checkpoint run.ckpt --resume
+    metacores inject-campaign --k 5 --m 4 --rates 1e-4 1e-3 --out camp.json
+    metacores campaign-report camp.json
 
 Run ``metacores <command> --help`` for the full parameter list of each
 command.
@@ -25,6 +29,8 @@ import sys
 from typing import Iterator, List, Optional
 
 from repro.core import BERThresholdCurve, SearchConfig
+from repro.core.parallel import shutdown_all_pools
+from repro.errors import ConfigurationError
 from repro.observability import (
     format_trace_report,
     install_tracing,
@@ -41,6 +47,15 @@ from repro.iir import (
     realize,
 )
 from repro.iir.design import FILTER_FAMILIES
+from repro.resilience import (
+    Campaign,
+    CampaignConfig,
+    CampaignResult,
+    FAULT_MODELS,
+    RoundBudgetExceeded,
+    STORAGE_CLASSES,
+    format_campaign_report,
+)
 from repro.viterbi import (
     BERSimulator,
     ConvolutionalEncoder,
@@ -98,6 +113,55 @@ def _add_parallel_args(parser: argparse.ArgumentParser) -> None:
         help="persistent evaluation cache (JSONL); reruns of the same "
         "specification start warm and skip already-priced points",
     )
+
+
+#: Storage classes a Viterbi campaign can inject (IIR state is driven
+#: through the library API, not this subcommand).
+_VITERBI_TARGETS = tuple(c for c in STORAGE_CLASSES if c != "iir_state")
+
+
+def _add_checkpoint_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--checkpoint",
+        metavar="FILE",
+        default=None,
+        help="write an atomic per-round session checkpoint to FILE; a "
+        "crashed or aborted run continues with --resume",
+    )
+    parser.add_argument(
+        "--resume",
+        action="store_true",
+        help="resume from --checkpoint instead of starting cold",
+    )
+    parser.add_argument(
+        "--max-rounds",
+        type=int,
+        default=None,
+        metavar="N",
+        help="abort after N computed evaluation rounds (checkpoint "
+        "intact, exit code 3); mainly for tests and CI",
+    )
+    parser.add_argument(
+        "--resilient",
+        action="store_true",
+        help="retry and quarantine failing evaluations instead of "
+        "aborting the whole search",
+    )
+
+
+def _run_search(metacore, args: argparse.Namespace):
+    """Run a facade search, checkpointed when ``--checkpoint`` is set.
+
+    Returns ``(result, session_or_None)``.
+    """
+    if getattr(args, "checkpoint", None):
+        metacore.checkpoint_path = args.checkpoint
+        metacore.resume = args.resume
+        metacore.max_rounds = args.max_rounds
+        metacore.resilient = args.resilient
+        session = metacore.search_session()
+        return session.result, session
+    return metacore.search(), None
 
 
 def _add_viterbi_point_args(parser: argparse.ArgumentParser) -> None:
@@ -167,8 +231,16 @@ def cmd_viterbi_search(args: argparse.Namespace) -> int:
         cache_path=args.cache,
     )
     with _tracing(args):
-        result = metacore.search()
-    print(result.summary())
+        try:
+            result, session = _run_search(metacore, args)
+        except RoundBudgetExceeded as stop:
+            print(
+                f"round budget exhausted after {stop.rounds} computed "
+                f"rounds; checkpoint saved at {stop.checkpoint_path} "
+                "(rerun with --resume to continue)"
+            )
+            return 3
+    print(session.summary() if session is not None else result.summary())
     if result.best_point is not None:
         print(f"winner: {describe_point(result.best_point)}")
         metrics = result.best_metrics
@@ -239,8 +311,16 @@ def cmd_iir_search(args: argparse.Namespace) -> int:
         spec, config=config, workers=args.workers, cache_path=args.cache
     )
     with _tracing(args):
-        result = metacore.search()
-    print(result.summary())
+        try:
+            result, session = _run_search(metacore, args)
+        except RoundBudgetExceeded as stop:
+            print(
+                f"round budget exhausted after {stop.rounds} computed "
+                f"rounds; checkpoint saved at {stop.checkpoint_path} "
+                "(rerun with --resume to continue)"
+            )
+            return 3
+    print(session.summary() if session is not None else result.summary())
     if not result.feasible:
         print("specification NOT FEASIBLE within the design space")
         return 1
@@ -344,6 +424,46 @@ def cmd_table4(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_inject_campaign(args: argparse.Namespace) -> int:
+    """Sweep fault rate x storage class over one decoder instance."""
+    point = _point_from_args(args)
+    try:
+        config = CampaignConfig(
+            model=args.model,
+            rates=tuple(args.rates),
+            targets=tuple(args.targets),
+            es_n0_db=tuple(args.snr),
+            max_bits=args.bits,
+            word_bits=args.word_bits,
+            frac_bits=args.frac_bits,
+            seed=args.seed,
+        )
+    except ConfigurationError as error:
+        print(f"invalid campaign: {error}", file=sys.stderr)
+        return 2
+    campaign = Campaign(
+        [point], config, workers=args.workers, cache_path=args.cache
+    )
+    with _tracing(args):
+        result = campaign.run()
+    print(format_campaign_report(result))
+    if args.out:
+        result.save(args.out)
+        print(f"campaign results written to {args.out}")
+    return 0
+
+
+def cmd_campaign_report(args: argparse.Namespace) -> int:
+    """Re-render the report of a saved campaign result file."""
+    try:
+        result = CampaignResult.load(args.file)
+    except (OSError, ValueError, ConfigurationError) as error:
+        print(f"cannot read campaign file: {error}", file=sys.stderr)
+        return 1
+    print(format_campaign_report(result))
+    return 0
+
+
 def cmd_trace_report(args: argparse.Namespace) -> int:
     """Aggregate a JSONL trace file into a per-stage breakdown."""
     try:
@@ -389,6 +509,7 @@ def build_parser() -> argparse.ArgumentParser:
     search.add_argument("--max-resolution", type=int, default=2)
     search.add_argument("--top-k", type=int, default=3)
     _add_parallel_args(search)
+    _add_checkpoint_args(search)
     _add_trace_arg(search)
     search.set_defaults(func=cmd_viterbi_search)
 
@@ -419,6 +540,7 @@ def build_parser() -> argparse.ArgumentParser:
     iir.add_argument("--max-resolution", type=int, default=3)
     iir.add_argument("--top-k", type=int, default=4)
     _add_parallel_args(iir)
+    _add_checkpoint_args(iir)
     _add_trace_arg(iir)
     iir.set_defaults(func=cmd_iir_search)
 
@@ -455,6 +577,55 @@ def build_parser() -> argparse.ArgumentParser:
     _add_trace_arg(table4)
     table4.set_defaults(func=cmd_table4)
 
+    inject = sub.add_parser(
+        "inject-campaign",
+        help="fault-injection campaign over one decoder instance",
+    )
+    _add_viterbi_point_args(inject)
+    inject.add_argument(
+        "--model", choices=FAULT_MODELS, default="seu",
+        help="fault model: transient bit-flips (seu) or stuck-at bits",
+    )
+    inject.add_argument(
+        "--rates", type=float, nargs="+", default=[1e-4, 1e-3],
+        metavar="RATE",
+        help="fault intensities to sweep (fault-free reference is "
+        "measured automatically)",
+    )
+    inject.add_argument(
+        "--targets", choices=_VITERBI_TARGETS, nargs="+",
+        default=list(_VITERBI_TARGETS),
+        help="storage classes to inject, one class per campaign cell",
+    )
+    inject.add_argument(
+        "--snr", type=float, nargs="+", default=[0.0, 2.0],
+        help="Es/N0 points of the degradation curves (dB)",
+    )
+    inject.add_argument(
+        "--bits", type=int, default=24_000,
+        help="data bits decoded per campaign cell",
+    )
+    inject.add_argument("--word-bits", type=int, default=16)
+    inject.add_argument("--frac-bits", type=int, default=8)
+    inject.add_argument("--seed", type=int, default=20010618)
+    inject.add_argument(
+        "--out", metavar="FILE", default=None,
+        help="also save the full campaign result as JSON "
+        "(re-render with `metacores campaign-report FILE`)",
+    )
+    _add_parallel_args(inject)
+    _add_trace_arg(inject)
+    inject.set_defaults(func=cmd_inject_campaign)
+
+    campaign_report = sub.add_parser(
+        "campaign-report",
+        help="re-render a saved inject-campaign --out file",
+    )
+    campaign_report.add_argument(
+        "file", help="campaign JSON written by inject-campaign --out"
+    )
+    campaign_report.set_defaults(func=cmd_campaign_report)
+
     trace_report = sub.add_parser(
         "trace-report",
         help="aggregate a --trace JSONL file into per-stage totals",
@@ -468,7 +639,12 @@ def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    finally:
+        # Worker pools must not outlive the command (satellite of the
+        # resilience work: no orphaned processes on any exit path).
+        shutdown_all_pools()
 
 
 if __name__ == "__main__":

@@ -23,6 +23,7 @@ from __future__ import annotations
 
 import json
 import threading
+import warnings
 from pathlib import Path
 from typing import Any, Dict, IO, Mapping, Optional, Tuple, Union
 
@@ -66,6 +67,9 @@ class PersistentEvalCache:
         self._entries: Dict[Tuple[str, PointKey], Tuple[int, Dict[str, float]]] = {}
         self._file: Optional[IO[str]] = None
         self.n_loaded = 0
+        #: Corrupt (undecodable / malformed) lines skipped at load time.
+        #: Schema-version mismatches are *not* corruption and stay silent.
+        self.n_skipped = 0
         self._load()
 
     # -- loading ---------------------------------------------------------
@@ -74,18 +78,23 @@ class PersistentEvalCache:
         if not self.path.exists():
             return
         with self.path.open("r", encoding="utf-8") as handle:
-            for line in handle:
+            for line_no, line in enumerate(handle, start=1):
                 line = line.strip()
                 if not line:
                     continue
                 try:
                     record = json.loads(line)
                 except json.JSONDecodeError:
-                    continue  # torn tail line from an interrupted run
+                    # Torn tail line from an interrupted run — expected
+                    # once at EOF, suspicious anywhere else; either way
+                    # the entry is lost, so say so.
+                    self._skip(line_no, "undecodable JSON")
+                    continue
                 if not isinstance(record, dict):
+                    self._skip(line_no, "not a JSON object")
                     continue
                 if record.get("schema") != CACHE_SCHEMA_VERSION:
-                    continue
+                    continue  # orphaned by a schema bump, by design
                 try:
                     key = (
                         str(record["fp"]),
@@ -96,11 +105,21 @@ class PersistentEvalCache:
                         str(k): float(v) for k, v in record["metrics"].items()
                     }
                 except (KeyError, TypeError, ValueError):
+                    self._skip(line_no, "malformed record")
                     continue
                 existing = self._entries.get(key)
                 if existing is None or fidelity > existing[0]:
                     self._entries[key] = (fidelity, metrics)
         self.n_loaded = len(self._entries)
+
+    def _skip(self, line_no: int, reason: str) -> None:
+        self.n_skipped += 1
+        warnings.warn(
+            f"evaluation cache {self.path}: skipping corrupt line "
+            f"{line_no} ({reason})",
+            RuntimeWarning,
+            stacklevel=4,
+        )
 
     # -- lookup / insert -------------------------------------------------
 

@@ -21,10 +21,12 @@ wrapper is then a transparent pass-through.
 
 from __future__ import annotations
 
+import atexit
 import multiprocessing
 import os
 import pickle
 import time
+import weakref
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 from typing import List, Optional, Sequence
@@ -40,6 +42,23 @@ from repro.core.parameters import Point
 
 #: The evaluator each worker process reconstructs at pool start-up.
 _WORKER_EVALUATOR: Optional[Evaluator] = None
+
+#: Every evaluator that has actually started a pool, so entry points
+#: can guarantee worker shutdown on exit even when an error path skips
+#: a ``close()`` call.
+_LIVE_POOLS: "weakref.WeakSet[ParallelEvaluator]" = weakref.WeakSet()
+
+
+def shutdown_all_pools() -> None:
+    """Close every live worker pool (idempotent, exit-safe)."""
+    for evaluator in list(_LIVE_POOLS):
+        try:
+            evaluator.close()
+        except Exception:  # pragma: no cover - best-effort teardown
+            pass
+
+
+atexit.register(shutdown_all_pools)
 
 
 def _init_worker(payload: bytes) -> None:
@@ -156,6 +175,7 @@ class ParallelEvaluator:
                 initializer=_init_worker,
                 initargs=(self._payload,),
             )
+            _LIVE_POOLS.add(self)
         return self._executor
 
     def close(self) -> None:

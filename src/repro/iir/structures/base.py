@@ -40,6 +40,11 @@ class Realization(ABC):
     #: Registry name, e.g. "cascade"; set by subclasses.
     name: str = "abstract"
 
+    #: Optional fault-injection state hook, ``hook(state, n) -> state``
+    #: (see :mod:`repro.resilience`): every structure routes its delay
+    #: line / state words through it per simulated sample when set.
+    fault_hook = None
+
     #: Structures whose implementations conventionally scale each
     #: coefficient by its own power of two (a barrel shift after the
     #: multiply) set this; quantization then preserves *relative*

@@ -139,7 +139,7 @@ class Cascade(Realization):
     def simulate(self, x: np.ndarray) -> np.ndarray:
         y = np.asarray(x, dtype=float)
         for b, a in self.sections:
-            y = TransferFunction(b, a).filter(y)
+            y = TransferFunction(b, a).filter(y, state_hook=self.fault_hook)
         return y
 
     def dataflow(self) -> DataflowStats:

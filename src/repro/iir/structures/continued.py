@@ -149,7 +149,9 @@ class ContinuedFraction(Realization):
     def simulate(self, x: np.ndarray) -> np.ndarray:
         # The nested feedback topology is simulated through its exact
         # reconstructed coefficients (which carry the quantization).
-        return self.to_tf().filter(np.asarray(x, dtype=float))
+        return self.to_tf().filter(
+            np.asarray(x, dtype=float), state_hook=self.fault_hook
+        )
 
     def dataflow(self) -> DataflowStats:
         n = self.expansion.size

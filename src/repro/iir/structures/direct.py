@@ -44,7 +44,7 @@ class _DirectFormBase(Realization):
         return TransferFunction(self.b, self.a)
 
     def simulate(self, x: np.ndarray) -> np.ndarray:
-        return self.to_tf().filter(x)
+        return self.to_tf().filter(x, state_hook=self.fault_hook)
 
     def _orders(self) -> Dict[str, int]:
         return {"num": self.b.size - 1, "den": self.a.size - 1}

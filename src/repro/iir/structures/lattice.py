@@ -154,6 +154,8 @@ class LatticeLadder(Realization):
             g[0] = f
             y[n] = float(np.dot(self.vs, g))
             g_delayed = g[:order].copy()
+            if self.fault_hook is not None:
+                g_delayed = self.fault_hook(g_delayed, n)
         return y
 
     def dataflow(self) -> DataflowStats:

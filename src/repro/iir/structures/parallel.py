@@ -151,7 +151,9 @@ class Parallel(Realization):
         x = np.asarray(x, dtype=float)
         y = self.constant * x
         for num, den in self.sections:
-            y = y + TransferFunction(num, den).filter(x)
+            y = y + TransferFunction(num, den).filter(
+                x, state_hook=self.fault_hook
+            )
         return y
 
     def dataflow(self) -> DataflowStats:

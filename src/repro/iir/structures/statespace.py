@@ -156,9 +156,12 @@ class StateSpace(Realization):
         order = self.a.shape[0]
         state = np.zeros(order)
         y = np.empty_like(x)
+        hook = self.fault_hook
         for n, sample in enumerate(x):
             y[n] = (self.c @ state).item() + self.d * sample
             state = self.a @ state + self.b[:, 0] * sample
+            if hook is not None:
+                state = hook(state, n)
         return y
 
     def dataflow(self) -> DataflowStats:

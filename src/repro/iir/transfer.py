@@ -100,8 +100,13 @@ class TransferFunction:
         x[0] = 1.0
         return self.filter(x)
 
-    def filter(self, x: np.ndarray) -> np.ndarray:
-        """Direct-form II transposed filtering of a signal."""
+    def filter(self, x: np.ndarray, state_hook=None) -> np.ndarray:
+        """Direct-form II transposed filtering of a signal.
+
+        ``state_hook(state, i) -> state`` — when given — sees (and may
+        corrupt, for fault-injection studies) the delay-line state words
+        after every sample update.
+        """
         x = np.asarray(x, dtype=float)
         n_state = max(self.b.size, self.a.size) - 1
         b = np.zeros(n_state + 1)
@@ -116,6 +121,8 @@ class TransferFunction:
                 state[j] = b[j + 1] * sample + state[j + 1] - a[j + 1] * out
             if n_state:
                 state[n_state - 1] = b[n_state] * sample - a[n_state] * out
+            if state_hook is not None and n_state:
+                state = state_hook(state, i)
             y[i] = out
         return y
 

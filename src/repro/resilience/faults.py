@@ -1,0 +1,338 @@
+"""Deterministic fault models for dependability campaigns.
+
+A deployable MetaCore instance is characterized not only on (BER, area,
+throughput) but on how gracefully it degrades under hardware faults —
+the dependability-campaign methodology of SEU/stuck-at fault-injection
+frameworks such as DAVOS.  This module provides the two classic fault
+models over the library's simulated datapaths:
+
+- **SEU** (single-event upset): transient bit-flips.  Each storage word
+  flips a uniformly chosen bit with probability ``rate`` per update
+  cycle — the soft-error model for radiation-induced upsets in
+  satellite links.
+- **stuck-at**: permanent faults.  A fraction ``rate`` of the bits of a
+  register file is stuck at a fixed 0/1 value for the whole run — the
+  manufacturing-defect / wear-out model.
+
+Faults are injected into the *fixed-point image* of each storage word
+(``word_bits`` total, ``frac_bits`` fractional), which is how the
+values live in hardware; the float simulation value is quantized,
+corrupted, and converted back.
+
+Injection points (storage classes):
+
+- ``path_metrics`` — the Viterbi accumulated-error registers,
+- ``branch_metrics`` — the branch-metric values read each trellis step,
+- ``traceback`` — the survivor (decision) memory,
+- ``iir_state`` — the delay-line state words of an IIR realization.
+
+Determinism
+-----------
+Every fault is derived from ``(seed, fault spec, instance label, block
+content)`` — never from shared mutable RNG state — so the same campaign
+cell produces bit-identical results no matter which worker process
+prices it or in what order (serial == parallel).  With ``rate == 0``
+the injector is inert: every hook returns its input unchanged without
+touching an RNG, so an instrumented decoder is bit-identical to (and as
+fast as) an uninstrumented one.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.utils.rng import derive_seed, make_rng
+
+#: Supported fault models.
+FAULT_MODELS: Tuple[str, ...] = ("seu", "stuck")
+
+#: Storage classes with injection hooks.
+PATH_METRICS = "path_metrics"
+BRANCH_METRICS = "branch_metrics"
+TRACEBACK = "traceback"
+IIR_STATE = "iir_state"
+STORAGE_CLASSES: Tuple[str, ...] = (
+    PATH_METRICS,
+    BRANCH_METRICS,
+    TRACEBACK,
+    IIR_STATE,
+)
+
+#: Sentinel target used for zero-rate (reference) campaign cells.
+NO_TARGET = "none"
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One fault configuration: model, intensity, and where it strikes.
+
+    ``rate`` means:
+
+    - for ``seu``: the probability that a storage word flips one bit
+      per update cycle;
+    - for ``stuck``: the fraction of the bits of each targeted register
+      file that is permanently stuck (at least one bit once positive).
+    """
+
+    model: str = "seu"
+    rate: float = 0.0
+    targets: Tuple[str, ...] = (PATH_METRICS,)
+    #: Fixed-point image of each storage word: total and fractional bits.
+    word_bits: int = 16
+    frac_bits: int = 8
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.model not in FAULT_MODELS:
+            raise ConfigurationError(
+                f"unknown fault model {self.model!r}; expected {FAULT_MODELS}"
+            )
+        if self.rate < 0.0 or self.rate > 1.0:
+            raise ConfigurationError("fault rate must lie in [0, 1]")
+        for target in self.targets:
+            if target not in STORAGE_CLASSES and target != NO_TARGET:
+                raise ConfigurationError(
+                    f"unknown storage class {target!r}; "
+                    f"expected one of {STORAGE_CLASSES}"
+                )
+        if not 2 <= self.word_bits <= 62:
+            raise ConfigurationError("word_bits must lie in [2, 62]")
+        if not 0 <= self.frac_bits < self.word_bits:
+            raise ConfigurationError("frac_bits must lie in [0, word_bits)")
+
+    def describe(self) -> str:
+        """Stable identifier used in fingerprints and seed derivation."""
+        targets = ",".join(sorted(self.targets))
+        return (
+            f"{self.model}:rate={self.rate:.6g}:targets={targets}"
+            f":word={self.word_bits}.{self.frac_bits}:seed={self.seed}"
+        )
+
+
+def _block_digest(data: np.ndarray) -> int:
+    """Content hash of an input block, used to derive per-block streams."""
+    digest = hashlib.sha256(np.ascontiguousarray(data).tobytes()).digest()
+    return int.from_bytes(digest[:8], "little")
+
+
+class FaultInjector:
+    """Deterministic fault injection over the datapath hook protocol.
+
+    One injector serves one decoder/filter *instance* for one fault
+    spec.  Attach it via :attr:`ViterbiDecoder.fault_hook` (the decoder
+    calls :meth:`begin_block` and the ``on_*`` hooks itself) or through
+    :func:`simulate_with_faults` for IIR realizations.
+
+    The injector counts every corrupted bit in :attr:`n_injected`
+    (per storage class) so campaigns can report injection totals.
+    """
+
+    def __init__(self, spec: FaultSpec, instance: str) -> None:
+        self.spec = spec
+        self.instance = str(instance)
+        #: True when the injector can alter anything at all.
+        self.active = spec.rate > 0.0 and any(
+            t in STORAGE_CLASSES for t in spec.targets
+        )
+        self.n_injected: Dict[str, int] = {}
+        self._rng: Optional[np.random.Generator] = None
+        #: Stuck positions per (class, register-file width):
+        #: (word_idx, bit_idx, bit_val) arrays, derived once on demand.
+        self._stuck: Dict[Tuple[str, int], Tuple[np.ndarray, np.ndarray, np.ndarray]] = {}
+
+    # -- block lifecycle -------------------------------------------------
+
+    def begin_block(self, data: np.ndarray) -> None:
+        """Start a new input block; derives the block's fault stream.
+
+        The SEU stream is keyed by the *content* of the block, so faults
+        do not depend on call order or process placement.
+        """
+        if not self.active:
+            return
+        if self.spec.model == "seu":
+            self._rng = make_rng(
+                derive_seed(
+                    self.spec.seed,
+                    "faults",
+                    self.spec.describe(),
+                    self.instance,
+                    _block_digest(data),
+                )
+            )
+
+    # -- datapath hook protocol -----------------------------------------
+
+    def on_path_metrics(self, acc: np.ndarray) -> np.ndarray:
+        """Corrupt the accumulated-error registers (frames, states)."""
+        return self._corrupt_float(acc, PATH_METRICS)
+
+    def on_branch_metrics(self, metrics: np.ndarray) -> np.ndarray:
+        """Corrupt branch-metric words (frames, ..., 2)."""
+        return self._corrupt_float(metrics, BRANCH_METRICS)
+
+    def on_traceback(self, decisions: np.ndarray) -> np.ndarray:
+        """Corrupt the survivor memory (steps, frames, states) in place.
+
+        Each cell stores one decision bit, so SEU flips the cell and
+        stuck-at forces whole survivor columns.
+        """
+        if not self._enabled(TRACEBACK):
+            return decisions
+        if self.spec.model == "seu":
+            rng = self._require_rng()
+            n_cells = decisions.size
+            n_faults = int(rng.binomial(n_cells, self.spec.rate))
+            if n_faults:
+                idx = rng.integers(0, n_cells, size=n_faults)
+                decisions.flat[idx] = decisions.flat[idx] ^ 1
+                self._count(TRACEBACK, n_faults)
+        else:
+            width = decisions.shape[-1]
+            word_idx, _bits, vals = self._stuck_positions(
+                TRACEBACK, width, bits_per_word=1
+            )
+            decisions[..., word_idx] = vals.astype(decisions.dtype)
+            self._count(TRACEBACK, word_idx.size)
+        return decisions
+
+    def iir_state_hook(self, state: np.ndarray, n: int) -> np.ndarray:
+        """Per-sample corruption of an IIR delay-line state vector."""
+        if state.size == 0:
+            return state
+        return self._corrupt_float(state, IIR_STATE)
+
+    # -- internals -------------------------------------------------------
+
+    def _enabled(self, cls: str) -> bool:
+        return self.active and cls in self.spec.targets
+
+    def _require_rng(self) -> np.random.Generator:
+        if self._rng is None:
+            # Hook used without begin_block (e.g. a bare filter call):
+            # fall back to a per-instance stream so behavior stays
+            # deterministic for a fixed call sequence.
+            self._rng = make_rng(
+                derive_seed(
+                    self.spec.seed, "faults", self.spec.describe(), self.instance
+                )
+            )
+        return self._rng
+
+    def _count(self, cls: str, n: int) -> None:
+        self.n_injected[cls] = self.n_injected.get(cls, 0) + int(n)
+
+    def _corrupt_float(self, arr: np.ndarray, cls: str) -> np.ndarray:
+        """Inject into the fixed-point image of a float word file.
+
+        Axis layout: the last axes (everything after the leading frame
+        axis, or the whole array for 1-D state vectors) form the
+        register file; SEU strikes uniformly across all words of all
+        frames, stuck-at pins the same file positions in every frame.
+        """
+        if not self._enabled(cls):
+            return arr
+        if self.spec.model == "seu":
+            rng = self._require_rng()
+            n_faults = int(rng.binomial(arr.size, self.spec.rate))
+            if n_faults:
+                idx = rng.integers(0, arr.size, size=n_faults)
+                bits = rng.integers(0, self.spec.word_bits, size=n_faults)
+                ints = self._to_fixed(arr.flat[idx])
+                ints ^= np.int64(1) << bits.astype(np.int64)
+                arr.flat[idx] = self._from_fixed(ints)
+                self._count(cls, n_faults)
+        else:
+            # Register file = the trailing axes of one frame (the whole
+            # array for a 1-D state vector).
+            width = arr.size // arr.shape[0] if arr.ndim > 1 else arr.size
+            word_idx, bit_idx, vals = self._stuck_positions(
+                cls, width, bits_per_word=self.spec.word_bits
+            )
+            # Mutate through a contiguous alias so reshape never copies
+            # the writes away.
+            contig = arr if arr.flags["C_CONTIGUOUS"] else np.ascontiguousarray(arr)
+            file_view = contig.reshape(-1, width)
+            sub = file_view[:, word_idx]
+            file_view[:, word_idx] = self._force_bits(sub, bit_idx, vals)
+            if contig is not arr:
+                arr[...] = contig
+            self._count(cls, word_idx.size * file_view.shape[0])
+        return arr
+
+    def _stuck_positions(
+        self, cls: str, width: int, bits_per_word: int
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """The permanently-stuck (word, bit, value) set of one file."""
+        key = (cls, width)
+        positions = self._stuck.get(key)
+        if positions is None:
+            rng = make_rng(
+                derive_seed(
+                    self.spec.seed,
+                    "stuck",
+                    self.spec.describe(),
+                    self.instance,
+                    cls,
+                    width,
+                )
+            )
+            n_bits = width * bits_per_word
+            n_stuck = max(1, int(round(self.spec.rate * n_bits)))
+            n_stuck = min(n_stuck, n_bits)
+            positions = (
+                rng.integers(0, width, size=n_stuck),
+                rng.integers(0, bits_per_word, size=n_stuck),
+                rng.integers(0, 2, size=n_stuck),
+            )
+            self._stuck[key] = positions
+        return positions
+
+    # -- fixed-point bit surgery ----------------------------------------
+
+    def _to_fixed(self, values: np.ndarray) -> np.ndarray:
+        """Two's-complement ``word_bits`` image of float values (saturating)."""
+        scale = float(1 << self.spec.frac_bits)
+        half = 1 << (self.spec.word_bits - 1)
+        ints = np.clip(np.rint(values * scale), -half, half - 1).astype(np.int64)
+        return ints & ((1 << self.spec.word_bits) - 1)
+
+    def _from_fixed(self, ints: np.ndarray) -> np.ndarray:
+        scale = float(1 << self.spec.frac_bits)
+        half = 1 << (self.spec.word_bits - 1)
+        signed = np.where(ints >= half, ints - (1 << self.spec.word_bits), ints)
+        return signed.astype(float) / scale
+
+    def _force_bits(
+        self, values: np.ndarray, bits: np.ndarray, vals: np.ndarray
+    ) -> np.ndarray:
+        """Force chosen bits of every row of a (frames, n_stuck) block."""
+        ints = self._to_fixed(values)
+        masks = np.int64(1) << bits.astype(np.int64)
+        set_mask = np.where(vals.astype(bool), masks, 0)
+        clear_mask = np.where(vals.astype(bool), 0, masks)
+        ints = (ints | set_mask) & ~clear_mask
+        return self._from_fixed(ints)
+
+
+def simulate_with_faults(
+    realization, x: np.ndarray, injector: FaultInjector
+) -> np.ndarray:
+    """Run an IIR realization with state-word fault injection.
+
+    Attaches the injector to the realization's ``fault_hook`` for the
+    duration of one ``simulate`` call, deriving the fault stream from
+    the input block's content (so results are order-independent).
+    """
+    x = np.asarray(x, dtype=float)
+    injector.begin_block(x)
+    realization.fault_hook = injector.iir_state_hook
+    try:
+        return realization.simulate(x)
+    finally:
+        realization.fault_hook = None

@@ -1,0 +1,83 @@
+"""Human-readable rendering of campaign results.
+
+Turns a :class:`~repro.resilience.campaign.CampaignResult` into the
+``campaign-report`` CLI output: BER degradation curves per (design,
+storage class), the masked/degraded/decode-failure breakdown, and the
+critical-bit fraction ranking of the storage classes.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.resilience.campaign import CampaignResult
+from repro.resilience.faults import NO_TARGET
+
+
+def _format_ber(value: float) -> str:
+    if value != value:  # NaN
+        return "      n/a"
+    return f"{value:9.3e}"
+
+
+def format_campaign_report(result: CampaignResult) -> str:
+    """Render a campaign result as a text report."""
+    config = result.config
+    lines: List[str] = []
+    lines.append("=" * 72)
+    lines.append("fault-injection campaign report")
+    lines.append("=" * 72)
+    lines.append(
+        f"model: {config.model}, seed: {config.seed}, "
+        f"word: {config.word_bits}.{config.frac_bits} fixed-point, "
+        f"{config.max_bits} bits/cell"
+    )
+    n_designs = len({cell.label for cell in result.cells})
+    lines.append(
+        f"cells: {len(result.cells)} ({n_designs} designs x "
+        f"{len(config.targets)} classes x {len(config.rates)} rates x "
+        f"{len(config.es_n0_db)} SNRs + references)"
+    )
+    lines.append(
+        f"injected faults: {result.total_injected()}, "
+        f"persistent-hits: {result.persistent_hits}, "
+        f"time: cpu {result.cpu_time_s:.3f}s / wall {result.wall_time_s:.3f}s"
+    )
+
+    curves = result.degradation_curves()
+    snrs = sorted(config.es_n0_db)
+    for (label, target), by_rate in sorted(curves.items()):
+        if target == NO_TARGET:
+            continue
+        lines.append("")
+        lines.append(f"{label}  [{target}]")
+        header = "  rate      " + " ".join(f"Es/N0={s:+.1f}dB" for s in snrs)
+        lines.append(header)
+        for rate in sorted(by_rate):
+            row = by_rate[rate]
+            cells = " ".join(
+                f"{_format_ber(row[s]):>12s}" if s in row else f"{'-':>12s}"
+                for s in snrs
+            )
+            tag = "ref" if rate == 0.0 else f"{rate:.1e}"
+            lines.append(f"  {tag:<9s} {cells}")
+
+    counts = result.classification_counts()
+    if counts:
+        total = sum(counts.values())
+        lines.append("")
+        lines.append("failure-mode classification (injected cells):")
+        for name in ("masked", "degraded", "decode_failure"):
+            count = counts.get(name, 0)
+            share = 100.0 * count / total if total else 0.0
+            lines.append(f"  {name:<16s} {count:>6d}  ({share:5.1f}%)")
+
+    critical = result.critical_fraction()
+    if critical:
+        lines.append("")
+        lines.append("critical-bit fraction per storage class:")
+        ranked = sorted(critical.items(), key=lambda kv: kv[1], reverse=True)
+        for target, fraction in ranked:
+            bar = "#" * int(round(fraction * 40))
+            lines.append(f"  {target:<16s} {fraction:6.1%}  {bar}")
+    return "\n".join(lines)

@@ -15,7 +15,9 @@ harsher channels; this module adds the two standard ones:
 
 All channels share the AWGN channel's interface (``transmit`` + a
 ``sigma`` the adaptive quantizer reads), so every decoder in the
-library runs on them unchanged.
+library runs on them unchanged.  :class:`AWGNChannel` itself is
+re-exported here so this module is the one-stop import for every
+channel model.
 """
 
 from __future__ import annotations
@@ -27,7 +29,18 @@ import numpy as np
 
 from repro.errors import ConfigurationError
 from repro.utils.rng import SeedLike, make_rng
-from repro.viterbi.channel import bpsk_modulate, es_n0_db_to_linear, noise_sigma
+from repro.viterbi.channel import (
+    AWGNChannel,
+    bpsk_modulate,
+    es_n0_db_to_linear,
+    noise_sigma,
+)
+
+__all__ = [
+    "AWGNChannel",
+    "BinarySymmetricChannel",
+    "RayleighFadingChannel",
+]
 
 
 @dataclass

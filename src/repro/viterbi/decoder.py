@@ -56,6 +56,10 @@ class ViterbiDecoder:
         self.quantizer = quantizer
         self.traceback_depth = int(traceback_depth)
         self.metric_table = shared_metric_table(trellis, quantizer)
+        #: Optional fault-injection hook (see :mod:`repro.resilience`).
+        #: When set, the decoder routes its branch-metric, path-metric,
+        #: and survivor-memory words through it every trellis step.
+        self.fault_hook = None
 
     # ------------------------------------------------------------------
     # Forward pass
@@ -87,13 +91,20 @@ class ViterbiDecoder:
             (n_steps, n_frames, self.trellis.n_states), dtype=np.uint8
         )
         best = np.empty((n_steps, n_frames), dtype=np.int64)
+        hook = self.fault_hook
+        if hook is not None and not getattr(hook, "active", True):
+            hook = None  # inert injector: skip the per-step calls entirely
         for t in range(n_steps):
             metrics = self.metric_table.compute(levels[:, t, :])
+            if hook is not None:
+                metrics = hook.on_branch_metrics(metrics)
             candidates = acc[:, predecessors] + metrics
             slots = np.argmin(candidates, axis=2)
             acc = np.take_along_axis(
                 candidates, slots[:, :, np.newaxis], axis=2
             )[:, :, 0]
+            if hook is not None:
+                acc = hook.on_path_metrics(acc)
             decisions[t] = slots.astype(np.uint8)
             best[t] = np.argmin(acc, axis=1)
             # Renormalize so accumulated errors stay bounded over long
@@ -173,7 +184,12 @@ class ViterbiDecoder:
                 "received must have shape (frames, steps, "
                 f"{self.trellis.n_symbols})"
             )
+        hook = self.fault_hook
+        if hook is not None:
+            hook.begin_block(received)
         decisions, best = self._forward(received, sigma)
+        if hook is not None:
+            decisions = hook.on_traceback(decisions)
         bits = self._traceback(decisions, best)
         return bits[0] if squeeze else bits
 

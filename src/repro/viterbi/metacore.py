@@ -416,6 +416,14 @@ class ViterbiMetaCore:
     workers: int = 1
     #: Path of the persistent cross-run evaluation cache (None = cold).
     cache_path: Optional[str] = None
+    #: Crash-tolerant session checkpoint (see :mod:`repro.resilience`).
+    checkpoint_path: Optional[str] = None
+    #: Resume from an existing checkpoint instead of starting cold.
+    resume: bool = False
+    #: Abort (checkpoint intact) after this many computed rounds.
+    max_rounds: Optional[int] = None
+    #: Wrap the evaluator in the retry/quarantine shim.
+    resilient: bool = False
 
     def design_space(self) -> DesignSpace:
         """The Table-2 space with this MetaCore's fixed parameters."""
@@ -423,6 +431,8 @@ class ViterbiMetaCore:
 
     def search(self) -> SearchResult:
         """Run the multiresolution search for this specification."""
+        if self.checkpoint_path:
+            return self.search_session().result
         evaluator: object = ViterbiMetacoreEvaluator(self.spec)
         parallel: Optional[ParallelEvaluator] = None
         store: Optional[PersistentEvalCache] = None
@@ -441,6 +451,45 @@ class ViterbiMetaCore:
                 store=store,
             )
             return searcher.run()
+        finally:
+            if parallel is not None:
+                parallel.close()
+            if store is not None:
+                store.close()
+
+    def search_session(self):
+        """Run the search as a checkpointed, resumable session.
+
+        Returns a :class:`~repro.resilience.session.SessionResult`;
+        requires :attr:`checkpoint_path`.
+        """
+        # Imported lazily: repro.resilience depends on this module.
+        from repro.resilience.session import SearchSession
+
+        if not self.checkpoint_path:
+            raise ConfigurationError("search_session requires checkpoint_path")
+        evaluator: object = ViterbiMetacoreEvaluator(self.spec)
+        parallel: Optional[ParallelEvaluator] = None
+        store: Optional[PersistentEvalCache] = None
+        try:
+            if self.workers and self.workers > 1:
+                parallel = ParallelEvaluator(evaluator, workers=self.workers)
+                evaluator = parallel
+            if self.cache_path:
+                store = PersistentEvalCache(self.cache_path)
+            session = SearchSession(
+                self.design_space(),
+                self.spec.goal(),
+                evaluator,
+                self.checkpoint_path,
+                config=self.config,
+                normalizer=normalize_viterbi_point,
+                store=store,
+                resume=self.resume,
+                max_rounds=self.max_rounds,
+                resilient=self.resilient,
+            )
+            return session.run()
         finally:
             if parallel is not None:
                 parallel.close()

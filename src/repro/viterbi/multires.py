@@ -135,9 +135,14 @@ class MultiresolutionViterbiDecoder(ViterbiDecoder):
         decisions = np.empty((n_steps, n_frames, n_states), dtype=np.uint8)
         best = np.empty((n_steps, n_frames), dtype=np.int64)
         frame_col = np.arange(n_frames)[:, np.newaxis]
+        hook = self.fault_hook
+        if hook is not None and not getattr(hook, "active", True):
+            hook = None  # inert injector: skip the per-step calls entirely
         for t in range(n_steps):
             # --- low-resolution update of the full trellis ------------
             low_metrics = self.metric_table.compute(low_levels[:, t, :])
+            if hook is not None:
+                low_metrics = hook.on_branch_metrics(low_metrics)
             candidates = acc[:, predecessors] + low_metrics
             slots = np.argmin(candidates, axis=2).astype(np.uint8)
             new_acc = np.take_along_axis(
@@ -159,6 +164,8 @@ class MultiresolutionViterbiDecoder(ViterbiDecoder):
             high_metrics = self.high_metric_table.compute_for_states(
                 high_levels[:, t, :], chosen
             )  # (frames, m, 2)
+            if hook is not None:
+                high_metrics = hook.on_branch_metrics(high_metrics)
             if self.normalization_method == "scale-offset":
                 high_metrics = high_metrics * self._scale
             low_chosen = np.take_along_axis(
@@ -187,6 +194,8 @@ class MultiresolutionViterbiDecoder(ViterbiDecoder):
                 slots_merged, chosen, slot_high.astype(np.uint8), axis=1
             )
 
+            if hook is not None:
+                new_acc = hook.on_path_metrics(new_acc)
             decisions[t] = slots_merged
             best[t] = np.argmin(new_acc, axis=1)
             new_acc -= new_acc.min(axis=1, keepdims=True)
