@@ -15,6 +15,11 @@ related parameters"; this CLI exposes the same controls::
                              --checkpoint run.ckpt --resume
     metacores inject-campaign --k 5 --m 4 --rates 1e-4 1e-3 --out camp.json
     metacores campaign-report camp.json
+    metacores serve --port 7777 --workers 4 --cache eval-cache.jsonl
+    metacores client eval --port 7777 --metacore viterbi \
+                          --ber 1e-2 --throughput 1e6 --k 5 --fidelity 1
+    metacores client search --port 7777 --metacore iir --period-us 1.0
+    metacores client status --port 7777
 
 Run ``metacores <command> --help`` for the full parameter list of each
 command.
@@ -23,7 +28,9 @@ command.
 from __future__ import annotations
 
 import argparse
+import asyncio
 import contextlib
+import json
 import math
 import sys
 from typing import Iterator, List, Optional
@@ -464,6 +471,125 @@ def cmd_campaign_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Run the evaluation service until shutdown (Ctrl-C or client op)."""
+    from repro.serve import ServiceConfig
+    from repro.serve.server import serve_forever
+
+    config = ServiceConfig(
+        max_batch=args.max_batch,
+        linger_s=args.linger_ms / 1000.0,
+        max_pending=args.max_pending,
+        request_timeout_s=args.timeout_s,
+        workers=args.workers,
+        cache_path=args.cache,
+        resilient=args.resilient,
+    )
+
+    def on_ready(server) -> None:
+        print(f"serving on {server.address}", flush=True)
+
+    try:
+        asyncio.run(
+            serve_forever(
+                config,
+                host=args.host,
+                port=args.port,
+                unix_path=args.unix,
+                ready_callback=on_ready,
+            )
+        )
+    except KeyboardInterrupt:
+        pass
+    finally:
+        print("server stopped")
+    return 0
+
+
+def _client_spec_payload(args: argparse.Namespace) -> dict:
+    """Build the wire spec payload a client subcommand describes."""
+    from repro.iir import IIRSpec
+    from repro.serve import spec_to_payload
+
+    if args.metacore == "viterbi":
+        if args.ber is None or args.throughput is None:
+            raise ConfigurationError(
+                "viterbi requests need --ber and --throughput"
+            )
+        spec = ViterbiSpec(
+            throughput_bps=args.throughput,
+            ber_curve=BERThresholdCurve.single(args.es_n0_db, args.ber),
+            feature_um=args.feature_um,
+            seed=args.seed,
+        )
+    else:
+        if args.period_us is None:
+            raise ConfigurationError("iir requests need --period-us")
+        spec = IIRSpec.paper(args.period_us)
+    return spec_to_payload(spec)
+
+
+def _client_point(args: argparse.Namespace) -> dict:
+    if args.metacore == "viterbi":
+        return _point_from_args(args)
+    return {
+        "structure": args.structure,
+        "family": args.family,
+        "word_length": args.word,
+        "ripple_allocation": args.allocation,
+    }
+
+
+def _client_connect(args: argparse.Namespace):
+    from repro.serve import ServeClient
+
+    return ServeClient(
+        host=args.host, port=args.port, unix_path=args.unix
+    )
+
+
+def cmd_client(args: argparse.Namespace) -> int:
+    """Talk to a running evaluation service."""
+    from repro.serve import ServeConnectionError, ServeRequestError
+
+    try:
+        with _client_connect(args) as client:
+            if args.client_command == "status":
+                print(json.dumps(client.status(), indent=2, sort_keys=True))
+                return 0
+            if args.client_command == "shutdown":
+                client.shutdown()
+                print("server stopping")
+                return 0
+            spec = _client_spec_payload(args)
+            if args.client_command == "eval":
+                metrics = client.eval(
+                    _client_point(args), fidelity=args.fidelity, spec=spec
+                )
+                for name in sorted(metrics):
+                    print(f"  {name} = {metrics[name]:.6g}")
+                return 0
+            # search
+            config = {
+                "max_resolution": args.max_resolution,
+                "refine_top_k": args.top_k,
+            }
+            result = client.search(spec=spec, config=config)
+            print(result["summary"])
+            if result["best_point"] is not None:
+                if args.metacore == "viterbi":
+                    print(f"winner: {describe_point(result['best_point'])}")
+                else:
+                    print(f"winner: {result['best_point']}")
+            if not result["feasible"]:
+                print("specification NOT FEASIBLE within the design space")
+                return 1
+            return 0
+    except (ServeConnectionError, ServeRequestError, OSError) as error:
+        print(f"request failed: {error}", file=sys.stderr)
+        return 1
+
+
 def cmd_trace_report(args: argparse.Namespace) -> int:
     """Aggregate a JSONL trace file into a per-stage breakdown."""
     try:
@@ -632,6 +758,122 @@ def build_parser() -> argparse.ArgumentParser:
     )
     trace_report.add_argument("file", help="trace file written by --trace")
     trace_report.set_defaults(func=cmd_trace_report)
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the async batched evaluation service",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument(
+        "--port", type=int, default=0,
+        help="TCP port (0 = pick a free one; printed on startup)",
+    )
+    serve.add_argument(
+        "--unix", metavar="PATH", default=None,
+        help="serve on a unix socket instead of TCP",
+    )
+    serve.add_argument(
+        "--max-batch", type=int, default=8,
+        help="largest micro-batch fed to the evaluator at once",
+    )
+    serve.add_argument(
+        "--linger-ms", type=float, default=2.0,
+        help="how long a batch waits for co-travellers before running",
+    )
+    serve.add_argument(
+        "--max-pending", type=int, default=256,
+        help="admission-control window; excess requests are rejected "
+        "with an `overloaded` error",
+    )
+    serve.add_argument(
+        "--timeout-s", type=float, default=60.0,
+        help="default per-request timeout",
+    )
+    serve.add_argument(
+        "--resilient", action="store_true",
+        help="retry and quarantine failing evaluations per session",
+    )
+    _add_parallel_args(serve)
+    serve.set_defaults(func=cmd_serve)
+
+    client = sub.add_parser(
+        "client",
+        help="send requests to a running evaluation service",
+    )
+    client_sub = client.add_subparsers(dest="client_command", required=True)
+
+    def _add_connection_args(sub_parser: argparse.ArgumentParser) -> None:
+        sub_parser.add_argument("--host", default="127.0.0.1")
+        sub_parser.add_argument("--port", type=int, default=None)
+        sub_parser.add_argument("--unix", metavar="PATH", default=None)
+
+    def _add_spec_args(sub_parser: argparse.ArgumentParser) -> None:
+        sub_parser.add_argument(
+            "--metacore", choices=("viterbi", "iir"), required=True
+        )
+        sub_parser.add_argument(
+            "--ber", type=float, default=None, help="max BER (viterbi)"
+        )
+        sub_parser.add_argument(
+            "--es-n0-db", type=float, default=2.0,
+            help="Es/N0 of the BER spec (dB)",
+        )
+        sub_parser.add_argument(
+            "--throughput", type=float, default=None,
+            help="bits per second (viterbi)",
+        )
+        sub_parser.add_argument("--feature-um", type=float, default=0.25)
+        sub_parser.add_argument("--seed", type=int, default=20010618)
+        sub_parser.add_argument(
+            "--period-us", type=float, default=None,
+            help="sample period in us (iir)",
+        )
+
+    client_eval = client_sub.add_parser(
+        "eval", help="price one design point on the server"
+    )
+    _add_connection_args(client_eval)
+    _add_spec_args(client_eval)
+    _add_viterbi_point_args(client_eval)
+    client_eval.add_argument(
+        "--structure", choices=available_structures(), default="cascade",
+        help="realization structure (iir point)",
+    )
+    client_eval.add_argument(
+        "--family", choices=FILTER_FAMILIES, default="elliptic",
+        help="approximation family (iir point)",
+    )
+    client_eval.add_argument(
+        "--word", type=int, default=12,
+        help="coefficient word length (iir point)",
+    )
+    client_eval.add_argument(
+        "--allocation", type=float, default=0.85,
+        help="ripple allocation (iir point)",
+    )
+    client_eval.add_argument("--fidelity", type=int, default=0)
+    client_eval.set_defaults(func=cmd_client)
+
+    client_search = client_sub.add_parser(
+        "search", help="run a full search on the server"
+    )
+    _add_connection_args(client_search)
+    _add_spec_args(client_search)
+    client_search.add_argument("--max-resolution", type=int, default=2)
+    client_search.add_argument("--top-k", type=int, default=3)
+    client_search.set_defaults(func=cmd_client)
+
+    client_status = client_sub.add_parser(
+        "status", help="print the server's status snapshot"
+    )
+    _add_connection_args(client_status)
+    client_status.set_defaults(func=cmd_client)
+
+    client_shutdown = client_sub.add_parser(
+        "shutdown", help="ask the server to exit cleanly"
+    )
+    _add_connection_args(client_shutdown)
+    client_shutdown.set_defaults(func=cmd_client)
     return parser
 
 

@@ -176,6 +176,16 @@ class PersistentEvalCache:
         with self._lock:
             return len(self._entries)
 
+    def stats(self) -> Dict[str, Any]:
+        """Plain-dict store accounting (for status endpoints/reports)."""
+        with self._lock:
+            return {
+                "path": str(self.path),
+                "entries": len(self._entries),
+                "loaded": self.n_loaded,
+                "skipped": self.n_skipped,
+            }
+
     def close(self) -> None:
         with self._lock:
             if self._file is not None:

@@ -167,6 +167,18 @@ class ParallelEvaluator:
 
     # -- pool lifecycle --------------------------------------------------
 
+    def ensure_started(self) -> bool:
+        """Start the worker pool now instead of on the first batch.
+
+        Long-running services call this once at start-up so the first
+        client request is not taxed with pool spin-up; returns True when
+        a pool is (now) live, False when parallelism is disabled.
+        """
+        if not self.parallel_enabled:
+            return False
+        self._ensure_executor()
+        return True
+
     def _ensure_executor(self) -> ProcessPoolExecutor:
         if self._executor is None:
             self._executor = ProcessPoolExecutor(

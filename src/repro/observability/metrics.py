@@ -137,6 +137,28 @@ class Histogram:
         edges: List[Optional[float]] = list(self.buckets) + [None]
         return list(zip(edges, self._counts))
 
+    def quantile(self, q: float) -> float:
+        """Estimate the ``q``-quantile (0..1) from the bucket counts.
+
+        Returns the upper edge of the bucket containing the quantile
+        rank — an upper bound, like Prometheus ``histogram_quantile``
+        without interpolation.  Observations in the overflow bucket
+        answer with the exact observed maximum; an empty histogram
+        answers 0.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("quantile must lie in [0, 1]")
+        with self._lock:
+            if self._count == 0:
+                return 0.0
+            rank = q * self._count
+            cumulative = 0
+            for edge, count in zip(self.buckets, self._counts):
+                cumulative += count
+                if cumulative >= rank:
+                    return edge
+            return self._max if self._max is not None else self.buckets[-1]
+
     def snapshot(self) -> Dict[str, Any]:
         return {
             "type": "histogram",

@@ -203,6 +203,14 @@ class ResilientEvaluator:
             reason=reason,
         )
 
+    def snapshot(self) -> Dict[str, object]:
+        """Plain-dict resilience accounting (for status endpoints)."""
+        return {
+            "retries": self.n_retries,
+            "quarantined": len(self.quarantine),
+            "quarantine_reasons": list(self.quarantine.values()),
+        }
+
     def quarantine_summary(self) -> List[str]:
         """Human-readable quarantine list for reports."""
         lines = []

@@ -1,0 +1,131 @@
+"""Dynamic micro-batching of compatible evaluation requests.
+
+Point requests from many concurrent clients are independent, and the
+evaluation layer is batch-first (``evaluate_many`` fans a batch out
+over the process pool), so the service coalesces *compatible* requests
+— same evaluator fingerprint, same fidelity — into micro-batches:
+
+- the first request of a batch opens a *linger window*
+  (``linger_s``); requests arriving inside the window join the batch;
+- the batch closes when it reaches ``max_batch`` entries or the window
+  expires, whichever is first;
+- batches of the same key run one at a time (so requests queued behind
+  a running batch accumulate into the next, larger batch — classic
+  dynamic batching), while batches of different keys run concurrently.
+
+Determinism is unaffected: every evaluator derives its stochastic
+streams from (seed, point, fidelity), so how requests are grouped into
+batches — or which batch runs first — cannot change any result.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from dataclasses import dataclass, field
+from typing import Any, Awaitable, Callable, Dict, Hashable, List, Optional
+
+
+@dataclass
+class PendingRequest:
+    """One admitted point request waiting for its micro-batch."""
+
+    point: Dict[str, Any]
+    fidelity: int
+    future: "asyncio.Future[Dict[str, float]]"
+    #: Opaque per-request context (the service stores its session here).
+    context: Any = None
+    enqueued_s: float = field(default_factory=time.monotonic)
+
+
+#: Runs one closed batch; must resolve every request's future.
+BatchRunner = Callable[[Hashable, List[PendingRequest]], Awaitable[None]]
+
+
+class MicroBatcher:
+    """Group compatible requests into bounded, lingering micro-batches.
+
+    One collector task per batch key, started lazily on the key's first
+    request and kept until :meth:`close`.  The collector is the only
+    consumer of its key's queue, so batch assembly needs no locking.
+    """
+
+    def __init__(
+        self,
+        run_batch: BatchRunner,
+        max_batch: int = 8,
+        linger_s: float = 0.002,
+    ) -> None:
+        if max_batch < 1:
+            raise ValueError("max_batch must be >= 1")
+        self.run_batch = run_batch
+        self.max_batch = int(max_batch)
+        self.linger_s = max(0.0, float(linger_s))
+        self._queues: Dict[Hashable, "asyncio.Queue[PendingRequest]"] = {}
+        self._collectors: Dict[Hashable, "asyncio.Task[None]"] = {}
+        self._closed = False
+
+    @property
+    def n_queued(self) -> int:
+        """Requests accepted but not yet handed to a batch run."""
+        return sum(queue.qsize() for queue in self._queues.values())
+
+    def submit(self, key: Hashable, request: PendingRequest) -> None:
+        """Enqueue one request under its compatibility key."""
+        if self._closed:
+            raise RuntimeError("batcher is closed")
+        queue = self._queues.get(key)
+        if queue is None:
+            queue = asyncio.Queue()
+            self._queues[key] = queue
+            self._collectors[key] = asyncio.ensure_future(
+                self._collect(key, queue)
+            )
+        queue.put_nowait(request)
+
+    async def _collect(
+        self, key: Hashable, queue: "asyncio.Queue[PendingRequest]"
+    ) -> None:
+        """Assemble and run batches for one key, forever."""
+        while True:
+            batch = [await queue.get()]
+            deadline = time.monotonic() + self.linger_s
+            while len(batch) < self.max_batch:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    # Window expired: still take whatever is already
+                    # queued (no reason to leave ready work behind).
+                    while (
+                        len(batch) < self.max_batch and not queue.empty()
+                    ):
+                        batch.append(queue.get_nowait())
+                    break
+                try:
+                    batch.append(
+                        await asyncio.wait_for(queue.get(), remaining)
+                    )
+                except asyncio.TimeoutError:
+                    continue  # re-check the queue once more, then close
+            # Sequential per key: requests arriving while this batch
+            # evaluates pile up for the next (larger) one.
+            await self.run_batch(key, batch)
+
+    async def close(self) -> None:
+        """Cancel collectors and fail any not-yet-batched request."""
+        self._closed = True
+        for task in self._collectors.values():
+            task.cancel()
+        for task in self._collectors.values():
+            try:
+                await task
+            except (asyncio.CancelledError, Exception):
+                pass
+        for queue in self._queues.values():
+            while not queue.empty():
+                request = queue.get_nowait()
+                if not request.future.done():
+                    request.future.set_exception(
+                        RuntimeError("service shut down")
+                    )
+        self._queues.clear()
+        self._collectors.clear()

@@ -1,0 +1,154 @@
+"""Synchronous clients of the evaluation service.
+
+:class:`ServeClient` speaks the newline-delimited JSON protocol over a
+TCP or unix socket; one instance serializes its own requests (a lock
+around each call), so concurrent load is generated with one client per
+thread — which is also how real traffic arrives.
+
+Errors come back typed: a failed request raises
+:class:`ServeRequestError` carrying the server's error ``code``
+(``overloaded``, ``timeout``, ``bad_request``, ...), so callers can
+apply backpressure-aware retry policies.
+"""
+
+from __future__ import annotations
+
+import itertools
+import socket
+import threading
+from typing import Any, Dict, Optional
+
+from repro.serve.protocol import (
+    ProtocolError,
+    decode_message,
+    encode_message,
+)
+
+
+class ServeRequestError(RuntimeError):
+    """The server answered a request with an error response."""
+
+    def __init__(self, code: str, message: str) -> None:
+        super().__init__(f"[{code}] {message}")
+        self.code = code
+
+
+class ServeConnectionError(ConnectionError):
+    """The transport failed (server gone, connection dropped)."""
+
+
+class ServeClient:
+    """Blocking client for one server connection (thread-safe, serial)."""
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: Optional[int] = None,
+        unix_path: Optional[str] = None,
+        timeout_s: float = 120.0,
+    ) -> None:
+        if unix_path:
+            sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            sock.settimeout(timeout_s)
+            sock.connect(unix_path)
+        else:
+            if port is None:
+                raise ValueError("give a port (or a unix_path)")
+            sock = socket.create_connection(
+                (host, port), timeout=timeout_s
+            )
+        self._sock = sock
+        self._file = sock.makefile("rwb")
+        self._lock = threading.Lock()
+        self._ids = itertools.count(1)
+
+    # -- plumbing --------------------------------------------------------
+
+    def _call(self, op: str, **fields: Any) -> Dict[str, Any]:
+        request: Dict[str, Any] = {"id": next(self._ids), "op": op}
+        request.update(
+            {key: value for key, value in fields.items() if value is not None}
+        )
+        with self._lock:
+            try:
+                self._file.write(encode_message(request))
+                self._file.flush()
+                line = self._file.readline()
+            except (OSError, ValueError) as exc:
+                raise ServeConnectionError(
+                    f"connection to server lost: {exc}"
+                ) from exc
+        if not line:
+            raise ServeConnectionError("server closed the connection")
+        try:
+            response = decode_message(line)
+        except ProtocolError as exc:
+            raise ServeConnectionError(str(exc)) from exc
+        if response.get("ok"):
+            return response.get("result") or {}
+        error = response.get("error") or {}
+        raise ServeRequestError(
+            str(error.get("code", "error")),
+            str(error.get("message", "request failed")),
+        )
+
+    # -- operations ------------------------------------------------------
+
+    def ping(self) -> Dict[str, Any]:
+        return self._call("ping")
+
+    def status(self) -> Dict[str, Any]:
+        return self._call("status")
+
+    def eval(
+        self,
+        point: Dict[str, Any],
+        fidelity: int = 0,
+        spec: Optional[Dict[str, Any]] = None,
+        session: Optional[str] = None,
+        timeout_s: Optional[float] = None,
+    ) -> Dict[str, float]:
+        """Price one design point; returns its metrics record."""
+        result = self._call(
+            "eval",
+            spec=spec,
+            session=session,
+            point=dict(point),
+            fidelity=int(fidelity),
+            timeout_s=timeout_s,
+        )
+        return dict(result.get("metrics") or {})
+
+    def search(
+        self,
+        spec: Optional[Dict[str, Any]] = None,
+        session: Optional[str] = None,
+        config: Optional[Dict[str, Any]] = None,
+        fixed: Optional[Dict[str, Any]] = None,
+    ) -> Dict[str, Any]:
+        """Run a full multiresolution search for a specification."""
+        return self._call(
+            "search", spec=spec, session=session, config=config, fixed=fixed
+        )
+
+    def shutdown(self) -> Dict[str, Any]:
+        """Ask the server to exit cleanly."""
+        return self._call("shutdown")
+
+    # -- life cycle ------------------------------------------------------
+
+    def close(self) -> None:
+        try:
+            self._file.close()
+        except OSError:
+            pass
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+
+    def __enter__(self) -> "ServeClient":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()

@@ -1,0 +1,201 @@
+"""Wire protocol of the evaluation service.
+
+Newline-delimited JSON: every message is one JSON object on one line,
+UTF-8 encoded.  Requests carry a client-chosen ``id`` echoed back in
+the response, an ``op``, and op-specific fields; responses are either
+``{"id": ..., "ok": true, "result": {...}}`` or
+``{"id": ..., "ok": false, "error": {"code": ..., "message": ...}}``.
+
+Operations
+----------
+
+``ping``
+    Liveness probe; answers ``{"pong": true, "protocol": 1}``.
+``status``
+    Service counters: queue depth, sessions, batch/latency statistics.
+``eval``
+    Price one design point: ``metacore``/``spec`` (or a pre-registered
+    ``session`` name), ``point``, ``fidelity``.
+``search``
+    Run a full multiresolution search for a spec: ``metacore``/``spec``
+    plus optional ``config`` (SearchConfig fields) and ``fixed``
+    (pinned design-space parameters).
+``shutdown``
+    Ask the server to stop accepting work and exit cleanly.
+
+Specifications travel as plain-dict payloads (:func:`spec_to_payload` /
+:func:`spec_from_payload`) so the same request can be issued from any
+language; metric floats round-trip exactly (JSON ``repr`` shortest
+round-trip), which the bit-identical conformance suite relies on.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict
+
+from repro.errors import ConfigurationError
+
+#: Bumped on incompatible message-shape changes.
+PROTOCOL_VERSION = 1
+
+#: Upper bound on one encoded message; guards the server against a
+#: runaway (or hostile) peer streaming an unbounded line.
+MAX_MESSAGE_BYTES = 4 * 1024 * 1024
+
+
+class ProtocolError(ValueError):
+    """A malformed or oversized wire message."""
+
+
+def encode_message(message: Dict[str, Any]) -> bytes:
+    """One message as a UTF-8 JSON line (trailing newline included)."""
+    data = json.dumps(message, separators=(",", ":"), sort_keys=True)
+    encoded = data.encode("utf-8") + b"\n"
+    if len(encoded) > MAX_MESSAGE_BYTES:
+        raise ProtocolError(
+            f"message of {len(encoded)} bytes exceeds the "
+            f"{MAX_MESSAGE_BYTES}-byte limit"
+        )
+    return encoded
+
+
+def decode_message(line: bytes) -> Dict[str, Any]:
+    """Parse one received line into a message dict."""
+    if len(line) > MAX_MESSAGE_BYTES:
+        raise ProtocolError("message exceeds the size limit")
+    try:
+        message = json.loads(line.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ProtocolError(f"undecodable message: {exc}") from exc
+    if not isinstance(message, dict):
+        raise ProtocolError("message must be a JSON object")
+    return message
+
+
+def ok_response(request_id: Any, result: Dict[str, Any]) -> Dict[str, Any]:
+    return {"id": request_id, "ok": True, "result": result}
+
+
+def error_response(
+    request_id: Any, code: str, message: str
+) -> Dict[str, Any]:
+    return {
+        "id": request_id,
+        "ok": False,
+        "error": {"code": code, "message": message},
+    }
+
+
+# ---------------------------------------------------------------------------
+# Specification payloads
+# ---------------------------------------------------------------------------
+
+
+def spec_to_payload(spec: object) -> Dict[str, Any]:
+    """Serialize a ViterbiSpec/IIRSpec into a wire-safe plain dict."""
+    from repro.iir.design import BandpassSpec, LowpassSpec
+    from repro.iir.metacore import IIRSpec
+    from repro.viterbi.metacore import ViterbiSpec
+
+    if isinstance(spec, ViterbiSpec):
+        return {
+            "kind": "viterbi",
+            "throughput_bps": spec.throughput_bps,
+            "ber_curve": [list(pair) for pair in spec.ber_curve.points],
+            "feature_um": spec.feature_um,
+            "seed": spec.seed,
+        }
+    if isinstance(spec, IIRSpec):
+        filter_spec = spec.filter_spec
+        if isinstance(filter_spec, LowpassSpec):
+            filter_payload = {
+                "type": "lowpass",
+                "passband_edge": filter_spec.passband_edge,
+                "stopband_edge": filter_spec.stopband_edge,
+                "passband_ripple": filter_spec.passband_ripple,
+                "stopband_ripple": filter_spec.stopband_ripple,
+            }
+        elif isinstance(filter_spec, BandpassSpec):
+            filter_payload = {
+                "type": "bandpass",
+                "passband_low": filter_spec.passband_low,
+                "passband_high": filter_spec.passband_high,
+                "stopband_low": filter_spec.stopband_low,
+                "stopband_high": filter_spec.stopband_high,
+                "passband_ripple": filter_spec.passband_ripple,
+                "stopband_ripple": filter_spec.stopband_ripple,
+            }
+        else:
+            raise ConfigurationError(
+                f"unsupported filter spec {type(filter_spec).__name__}"
+            )
+        return {
+            "kind": "iir",
+            "sample_period_us": spec.sample_period_us,
+            "feature_um": spec.feature_um,
+            "filter": filter_payload,
+        }
+    raise ConfigurationError(
+        f"cannot serialize specification of type {type(spec).__name__}"
+    )
+
+
+def spec_from_payload(payload: Dict[str, Any]) -> object:
+    """Reconstruct a ViterbiSpec/IIRSpec from a wire payload."""
+    if not isinstance(payload, dict):
+        raise ConfigurationError("spec payload must be an object")
+    kind = payload.get("kind")
+    if kind == "viterbi":
+        from repro.core.objectives import BERThresholdCurve
+        from repro.viterbi.ber import DEFAULT_SEED
+        from repro.viterbi.metacore import ViterbiSpec
+
+        curve_points = payload.get("ber_curve")
+        if not curve_points:
+            raise ConfigurationError("viterbi spec needs ber_curve points")
+        curve = BERThresholdCurve(
+            points=tuple(
+                (float(es), float(thr)) for es, thr in curve_points
+            )
+        )
+        return ViterbiSpec(
+            throughput_bps=float(payload["throughput_bps"]),
+            ber_curve=curve,
+            feature_um=float(payload.get("feature_um", 0.25)),
+            seed=int(payload.get("seed", DEFAULT_SEED)),
+        )
+    if kind == "iir":
+        from repro.iir.design import BandpassSpec, LowpassSpec
+        from repro.iir.metacore import IIRSpec
+
+        filter_payload = payload.get("filter")
+        if not isinstance(filter_payload, dict):
+            raise ConfigurationError("iir spec needs a filter object")
+        filter_type = filter_payload.get("type")
+        if filter_type == "lowpass":
+            filter_spec = LowpassSpec(
+                float(filter_payload["passband_edge"]),
+                float(filter_payload["stopband_edge"]),
+                float(filter_payload["passband_ripple"]),
+                float(filter_payload["stopband_ripple"]),
+            )
+        elif filter_type == "bandpass":
+            filter_spec = BandpassSpec(
+                float(filter_payload["passband_low"]),
+                float(filter_payload["passband_high"]),
+                float(filter_payload["stopband_low"]),
+                float(filter_payload["stopband_high"]),
+                float(filter_payload["passband_ripple"]),
+                float(filter_payload["stopband_ripple"]),
+            )
+        else:
+            raise ConfigurationError(
+                f"unknown filter spec type {filter_type!r}"
+            )
+        return IIRSpec(
+            filter_spec=filter_spec,
+            sample_period_us=float(payload["sample_period_us"]),
+            feature_um=float(payload.get("feature_um", 1.2)),
+        )
+    raise ConfigurationError(f"unknown spec kind {kind!r}")

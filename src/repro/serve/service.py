@@ -1,0 +1,650 @@
+"""The asyncio evaluation service.
+
+The MetaCore contract is a query interface — (parameter point,
+fidelity) -> (BER, area, throughput) — and exploration workloads issue
+many such queries concurrently against a shared simulator.  This module
+serves that shape as a long-running process:
+
+- concurrent ``eval``/``search`` requests from any number of clients;
+- compatible point requests coalesce into dynamic micro-batches
+  (:mod:`repro.serve.batching`) fed to the batch-first evaluation layer,
+  where a :class:`~repro.core.parallel.ParallelEvaluator` fans them out
+  over worker processes;
+- one lock-guarded :class:`~repro.core.evaluation.CachingEvaluator` per
+  specification, all sharing one
+  :class:`~repro.core.evalcache.PersistentEvalCache`, so every client
+  benefits from every other client's paid-for evaluations;
+- backpressure: a bounded admission window (``max_pending``), per-
+  request timeouts, and cancellation-safe result delivery;
+- optional retry/quarantine via the resilience shim, so a poisoned
+  point degrades one answer instead of the whole service.
+
+**Bit-identical guarantee.**  Evaluators derive every stochastic stream
+from (seed, point, fidelity), never from shared mutable state, so the
+metrics a request receives are byte-identical to a serial one-shot
+evaluation of the same (point, fidelity) — independent of batching,
+arrival order, or which worker priced it.  As with the in-process and
+persistent caches, a request may be answered by an *already computed
+higher-fidelity* record for the same point (at least as accurate); on a
+cold service every request is answered at exactly its requested
+fidelity.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.core.evalcache import PersistentEvalCache, evaluator_fingerprint
+from repro.core.evaluation import CachingEvaluator, Evaluator, Metrics
+from repro.core.parallel import ParallelEvaluator
+from repro.core.parameters import Point
+from repro.core.search import MetacoreSearch, SearchConfig
+from repro.errors import ConfigurationError
+from repro.observability.metrics import MetricsRegistry, get_registry
+from repro.observability.trace import get_tracer
+from repro.serve.batching import MicroBatcher, PendingRequest
+from repro.serve.protocol import spec_from_payload
+
+#: Batch-size histogram edges (requests per micro-batch).
+BATCH_SIZE_BUCKETS: Tuple[float, ...] = (1, 2, 4, 8, 16, 32, 64, 128)
+
+
+class ServiceError(RuntimeError):
+    """Base class of request-level service failures."""
+
+    code = "error"
+
+
+class ServiceOverloadedError(ServiceError):
+    """Admission control rejected the request (queue full)."""
+
+    code = "overloaded"
+
+
+class RequestTimeoutError(ServiceError):
+    """The request exceeded its per-request wall-clock budget."""
+
+    code = "timeout"
+
+
+class ServiceClosedError(ServiceError):
+    """The service is shutting down and accepts no new work."""
+
+    code = "closed"
+
+
+class EvaluationFailedError(ServiceError):
+    """The evaluator raised while pricing the request's batch."""
+
+    code = "evaluation_failed"
+
+
+@dataclass
+class ServiceConfig:
+    """Knobs of the evaluation service."""
+
+    #: Largest micro-batch handed to ``evaluate_many`` in one call.
+    max_batch: int = 8
+    #: How long the first request of a batch waits for company (s).
+    linger_s: float = 0.002
+    #: Admission window: concurrent in-flight point requests beyond
+    #: this are rejected immediately with ``overloaded``.
+    max_pending: int = 256
+    #: Default per-request wall-clock budget (None = unbounded).
+    request_timeout_s: Optional[float] = 60.0
+    #: Worker processes per session's evaluator (1 = in-process).
+    workers: int = 1
+    #: Shared persistent cross-run cache (None = memory only).
+    cache_path: Optional[str] = None
+    #: Wrap session evaluators in the retry/quarantine shim.
+    resilient: bool = False
+    #: Retries per failing point when ``resilient`` (see the shim).
+    max_retries: int = 2
+    #: Threads running ``evaluate_many`` batches.
+    eval_threads: int = 2
+    #: Threads running whole searches.
+    search_threads: int = 2
+
+
+class EvaluatorSession:
+    """One specification's shared evaluation stack inside the service.
+
+    Wraps the spec's cost-evaluation engine with (inside-out): an
+    optional :class:`ParallelEvaluator` (process fan-out), an optional
+    :class:`~repro.resilience.shim.ResilientEvaluator`, and the
+    lock-guarded :class:`CachingEvaluator` every client request goes
+    through — all sharing the service's persistent store.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        inner: Evaluator,
+        config: ServiceConfig,
+        store: Optional[PersistentEvalCache],
+        kind: str = "custom",
+        spec: Optional[object] = None,
+    ) -> None:
+        self.name = name
+        self.kind = kind
+        self.spec = spec
+        self.inner = inner
+        self.fingerprint = evaluator_fingerprint(inner)
+        chain: Evaluator = inner
+        self.parallel: Optional[ParallelEvaluator] = None
+        if config.workers and config.workers > 1:
+            parallel = ParallelEvaluator(inner, workers=config.workers)
+            if parallel.parallel_enabled:
+                self.parallel = parallel
+                chain = parallel
+        self.shim = None
+        if config.resilient:
+            from repro.resilience.shim import ResilientEvaluator
+
+            self.shim = ResilientEvaluator(
+                chain, max_retries=config.max_retries
+            )
+            chain = self.shim
+        self.evaluator = CachingEvaluator(chain, store=store)
+
+    def warm_up(self) -> None:
+        """Start the worker pool before the first request arrives."""
+        if self.parallel is not None:
+            self.parallel.ensure_started()
+
+    def close(self) -> None:
+        if self.parallel is not None:
+            self.parallel.close()
+
+    def stats(self) -> Dict[str, Any]:
+        """Plain-dict cache/time accounting for the status endpoint."""
+        evaluator = self.evaluator
+        requests = evaluator.cache_hits + evaluator.cache_misses
+        info: Dict[str, Any] = {
+            "kind": self.kind,
+            "fingerprint": self.fingerprint,
+            "workers": self.parallel.workers if self.parallel else 1,
+            "cache_hits": evaluator.cache_hits,
+            "cache_misses": evaluator.cache_misses,
+            "cache_upgrades": evaluator.cache_upgrades,
+            "persistent_hits": evaluator.persistent_hits,
+            "hit_ratio": (
+                evaluator.cache_hits / requests if requests else 0.0
+            ),
+            "computed": evaluator.log.n_evaluations,
+            "cpu_s": evaluator.log.cpu_time_s,
+            "wall_s": evaluator.log.wall_time_s,
+        }
+        if self.shim is not None:
+            info["resilience"] = self.shim.snapshot()
+        return info
+
+
+class _ServeEvaluatorProxy:
+    """Evaluator facade routing a search's batches through the service.
+
+    A search runs in a worker thread; its grid rounds re-enter the
+    service's micro-batcher, so search traffic and client ``eval``
+    traffic for the same specification coalesce into shared batches and
+    shared cache state.  Search-internal requests bypass admission
+    control (the search itself was admitted) and carry no per-point
+    timeout.
+    """
+
+    def __init__(
+        self,
+        service: "EvaluationService",
+        session: EvaluatorSession,
+    ) -> None:
+        self._service = service
+        self._session = session
+        self.max_fidelity = session.evaluator.max_fidelity
+
+    def fingerprint(self) -> str:
+        return self._session.fingerprint
+
+    def evaluate(self, point: Point, fidelity: int) -> Metrics:
+        return self.evaluate_many([point], fidelity)[0]
+
+    def evaluate_many(
+        self, points: Sequence[Point], fidelity: int
+    ) -> List[Metrics]:
+        loop = self._service.loop
+        assert loop is not None, "service not started"
+        futures = [
+            asyncio.run_coroutine_threadsafe(
+                self._service.submit_point(
+                    self._session,
+                    dict(point),
+                    fidelity,
+                    timeout_s=None,
+                    admit=False,
+                ),
+                loop,
+            )
+            for point in points
+        ]
+        return [future.result() for future in futures]
+
+
+class EvaluationService:
+    """Shared-state evaluation service (run inside an asyncio loop).
+
+    Life cycle: construct, :meth:`start` inside a running loop, submit
+    work via :meth:`submit_point` / :meth:`submit_search` /
+    :meth:`status`, then :meth:`stop`.  The socket front-end lives in
+    :mod:`repro.serve.server`; in-process callers can drive the service
+    directly.
+    """
+
+    def __init__(self, config: Optional[ServiceConfig] = None) -> None:
+        self.config = config or ServiceConfig()
+        self.store: Optional[PersistentEvalCache] = (
+            PersistentEvalCache(self.config.cache_path)
+            if self.config.cache_path
+            else None
+        )
+        self.loop: Optional[asyncio.AbstractEventLoop] = None
+        self._sessions: Dict[str, EvaluatorSession] = {}
+        self._sessions_lock = threading.Lock()
+        self._batcher = MicroBatcher(
+            self._run_batch,
+            max_batch=self.config.max_batch,
+            linger_s=self.config.linger_s,
+        )
+        self._eval_executor: Optional[ThreadPoolExecutor] = None
+        self._search_executor: Optional[ThreadPoolExecutor] = None
+        self._running = False
+        self._started_s = 0.0
+        # Request accounting (mutated on the loop thread only).
+        self.n_pending = 0
+        self.n_requests = 0
+        self.n_rejected = 0
+        self.n_timeouts = 0
+        self.n_batches = 0
+        self.n_searches = 0
+        #: Per-service instruments backing the ``status`` endpoint; the
+        #: same updates also land in the process-wide registry so the
+        #: telemetry exporter sees them.
+        self.metrics = MetricsRegistry()
+
+    def _registries(self) -> Tuple[MetricsRegistry, MetricsRegistry]:
+        return (self.metrics, get_registry())
+
+    # -- life cycle ------------------------------------------------------
+
+    async def start(self) -> None:
+        """Bind to the running loop and start the worker executors."""
+        self.loop = asyncio.get_running_loop()
+        self._eval_executor = ThreadPoolExecutor(
+            max_workers=max(1, self.config.eval_threads),
+            thread_name_prefix="serve-eval",
+        )
+        self._search_executor = ThreadPoolExecutor(
+            max_workers=max(1, self.config.search_threads),
+            thread_name_prefix="serve-search",
+        )
+        self._running = True
+        self._started_s = time.monotonic()
+        for session in self.sessions():
+            session.warm_up()
+
+    async def stop(self) -> None:
+        """Fail queued work, finish in-flight work, release resources.
+
+        New submissions raise :class:`ServiceClosedError` immediately —
+        this is what unblocks an in-flight search, whose next grid
+        batch fails fast — while already-running batches complete.  The
+        executor joins run on the loop's default executor so the loop
+        keeps serving those fail-fast submissions meanwhile.
+        """
+        self._running = False
+        await self._batcher.close()
+        loop = self.loop
+        for executor in (self._eval_executor, self._search_executor):
+            if executor is not None and loop is not None:
+                await loop.run_in_executor(
+                    None, lambda ex=executor: ex.shutdown(wait=True)
+                )
+        self._eval_executor = None
+        self._search_executor = None
+        for session in self.sessions():
+            session.close()
+        if self.store is not None:
+            self.store.close()
+
+    # -- sessions --------------------------------------------------------
+
+    def sessions(self) -> List[EvaluatorSession]:
+        with self._sessions_lock:
+            return list(self._sessions.values())
+
+    def register_evaluator(
+        self,
+        name: str,
+        evaluator: Evaluator,
+        kind: str = "custom",
+        spec: Optional[object] = None,
+    ) -> EvaluatorSession:
+        """Attach a caller-supplied evaluator under an explicit name.
+
+        Requests can then address it with ``"session": name`` instead
+        of a spec payload — the in-process path for user-defined
+        MetaCores (and the test suite's instrumented evaluators).
+        """
+        with self._sessions_lock:
+            if name in self._sessions:
+                raise ConfigurationError(
+                    f"session {name!r} already registered"
+                )
+            session = EvaluatorSession(
+                name, evaluator, self.config, self.store, kind, spec
+            )
+            self._sessions[name] = session
+        if self._running:
+            session.warm_up()
+        return session
+
+    def session_for_spec(self, payload: Dict[str, Any]) -> EvaluatorSession:
+        """The session serving a spec payload, created on first use.
+
+        Sessions are keyed by evaluator fingerprint, so two clients
+        sending byte-different but equivalent payloads of the same
+        specification share one evaluator, one cache, one pool.
+        """
+        spec = spec_from_payload(payload)
+        kind = str(payload.get("kind"))
+        if kind == "viterbi":
+            from repro.viterbi.metacore import ViterbiMetacoreEvaluator
+
+            evaluator: Evaluator = ViterbiMetacoreEvaluator(spec)
+        else:
+            from repro.iir.metacore import IIRMetacoreEvaluator
+
+            evaluator = IIRMetacoreEvaluator(spec)
+        name = evaluator_fingerprint(evaluator)
+        with self._sessions_lock:
+            existing = self._sessions.get(name)
+            if existing is not None:
+                return existing
+            session = EvaluatorSession(
+                name, evaluator, self.config, self.store, kind, spec
+            )
+            self._sessions[name] = session
+        if self._running:
+            session.warm_up()
+        return session
+
+    def resolve_session(
+        self,
+        spec_payload: Optional[Dict[str, Any]] = None,
+        session_name: Optional[str] = None,
+    ) -> EvaluatorSession:
+        """Find the session a request addresses (payload or name)."""
+        if session_name is not None:
+            with self._sessions_lock:
+                session = self._sessions.get(session_name)
+            if session is None:
+                raise ConfigurationError(
+                    f"no session named {session_name!r}"
+                )
+            return session
+        if spec_payload is None:
+            raise ConfigurationError("request needs a spec or session")
+        return self.session_for_spec(spec_payload)
+
+    # -- point evaluation ------------------------------------------------
+
+    _UNSET = object()
+
+    async def submit_point(
+        self,
+        session: EvaluatorSession,
+        point: Point,
+        fidelity: int,
+        timeout_s: Any = _UNSET,
+        admit: bool = True,
+    ) -> Metrics:
+        """Admit, micro-batch, evaluate, and answer one point request.
+
+        Raises :class:`ServiceOverloadedError` when the admission
+        window is full, :class:`RequestTimeoutError` when the budget
+        (``timeout_s``, defaulting to the service config) expires —
+        the underlying evaluation is then abandoned, not interrupted —
+        and :class:`EvaluationFailedError` when the evaluator raised.
+        """
+        if not self._running:
+            raise ServiceClosedError("service is not running")
+        if admit and self.n_pending >= self.config.max_pending:
+            self.n_rejected += 1
+            for registry in self._registries():
+                registry.counter("serve.rejected").inc()
+            raise ServiceOverloadedError(
+                f"{self.n_pending} requests pending "
+                f"(admission window {self.config.max_pending})"
+            )
+        if not 0 <= int(fidelity) <= session.evaluator.max_fidelity:
+            raise ConfigurationError(
+                f"fidelity {fidelity} out of range "
+                f"[0, {session.evaluator.max_fidelity}]"
+            )
+        assert self.loop is not None
+        future: "asyncio.Future[Metrics]" = self.loop.create_future()
+        request = PendingRequest(
+            point=dict(point),
+            fidelity=int(fidelity),
+            future=future,
+            context=session,
+        )
+        self.n_pending += 1
+        self.n_requests += 1
+        for registry in self._registries():
+            registry.counter("serve.requests").inc()
+            registry.gauge("serve.queue_depth").set(self.n_pending)
+        self._batcher.submit((session.name, int(fidelity)), request)
+        timeout = (
+            self.config.request_timeout_s
+            if timeout_s is self._UNSET
+            else timeout_s
+        )
+        try:
+            if timeout is not None:
+                return await asyncio.wait_for(future, timeout)
+            return await future
+        except asyncio.TimeoutError:
+            self.n_timeouts += 1
+            for registry in self._registries():
+                registry.counter("serve.timeouts").inc()
+            raise RequestTimeoutError(
+                f"request exceeded its {timeout:.3g}s budget"
+            ) from None
+        finally:
+            self.n_pending -= 1
+            for registry in self._registries():
+                registry.gauge("serve.queue_depth").set(self.n_pending)
+
+    async def _run_batch(
+        self, key: Any, requests: List[PendingRequest]
+    ) -> None:
+        """Run one closed micro-batch on the evaluation executor."""
+        session: EvaluatorSession = requests[0].context
+        fidelity = requests[0].fidelity
+        points = [request.point for request in requests]
+        self.n_batches += 1
+        for registry in self._registries():
+            registry.histogram(
+                "serve.batch_size", BATCH_SIZE_BUCKETS
+            ).observe(len(points))
+            registry.counter("serve.batches").inc()
+        assert self.loop is not None and self._eval_executor is not None
+        with get_tracer().span(
+            "serve.batch",
+            session=session.kind,
+            points=len(points),
+            fidelity=fidelity,
+        ):
+            try:
+                metrics_list = await self.loop.run_in_executor(
+                    self._eval_executor,
+                    session.evaluator.evaluate_many,
+                    points,
+                    fidelity,
+                )
+            except asyncio.CancelledError:
+                # Shutdown cancelled the collector mid-batch: anybody
+                # still waiting must not hang on a dead future.
+                error = ServiceClosedError("service shut down mid-batch")
+                for request in requests:
+                    if not request.future.done():
+                        request.future.set_exception(error)
+                raise
+            except Exception as exc:  # evaluator bug or poisoned batch
+                for registry in self._registries():
+                    registry.counter("serve.batch_errors").inc()
+                error = EvaluationFailedError(
+                    f"{type(exc).__name__}: {exc}"
+                )
+                for request in requests:
+                    if not request.future.done():
+                        request.future.set_exception(error)
+                return
+        now = time.monotonic()
+        latencies = [
+            registry.histogram("serve.latency_s")
+            for registry in self._registries()
+        ]
+        for request, metrics in zip(requests, metrics_list):
+            for latency in latencies:
+                latency.observe(now - request.enqueued_s)
+            if not request.future.done():  # timed out / disconnected
+                request.future.set_result(metrics)
+
+    # -- searches --------------------------------------------------------
+
+    async def submit_search(
+        self,
+        session: EvaluatorSession,
+        config_fields: Optional[Dict[str, Any]] = None,
+        fixed: Optional[Dict[str, Any]] = None,
+    ) -> Dict[str, Any]:
+        """Run a full multiresolution search on the search executor.
+
+        The search's grid batches re-enter the micro-batcher through
+        :class:`_ServeEvaluatorProxy`, sharing batches and cache state
+        with concurrent client traffic for the same specification.
+        """
+        if not self._running:
+            raise ServiceClosedError("service is not running")
+        if session.spec is None:
+            raise ConfigurationError(
+                f"session {session.name!r} has no specification; "
+                "searches need a spec-backed session"
+            )
+        self.n_searches += 1
+        for registry in self._registries():
+            registry.counter("serve.searches").inc()
+        assert self.loop is not None and self._search_executor is not None
+        return await self.loop.run_in_executor(
+            self._search_executor,
+            self._run_search_sync,
+            session,
+            dict(config_fields or {}),
+            dict(fixed or {}),
+        )
+
+    def _run_search_sync(
+        self,
+        session: EvaluatorSession,
+        config_fields: Dict[str, Any],
+        fixed: Dict[str, Any],
+    ) -> Dict[str, Any]:
+        if session.kind == "viterbi":
+            from repro.viterbi.metacore import (
+                normalize_viterbi_point,
+                viterbi_design_space,
+            )
+
+            space = viterbi_design_space(
+                fixed or {"G": "standard", "N": 1}
+            )
+            normalizer = normalize_viterbi_point
+        elif session.kind == "iir":
+            from repro.iir.metacore import iir_design_space
+
+            space = iir_design_space(fixed or None)
+            normalizer = None
+        else:
+            raise ConfigurationError(
+                f"session kind {session.kind!r} does not support search"
+            )
+        config = SearchConfig(**config_fields)
+        searcher = MetacoreSearch(
+            space,
+            session.spec.goal(),
+            _ServeEvaluatorProxy(self, session),
+            config=config,
+            normalizer=normalizer,
+        )
+        with get_tracer().span("serve.search", session=session.kind):
+            result = searcher.run()
+        return {
+            "feasible": result.feasible,
+            "best_point": result.best_point,
+            "best_metrics": result.best_metrics,
+            "n_evaluations": result.log.n_evaluations,
+            "regions_explored": result.regions_explored,
+            "summary": result.summary(),
+        }
+
+    # -- status ----------------------------------------------------------
+
+    def status(self) -> Dict[str, Any]:
+        """Counters and per-session cache statistics as a plain dict."""
+        batch_hist = self.metrics.histogram(
+            "serve.batch_size", BATCH_SIZE_BUCKETS
+        )
+        latency_hist = self.metrics.histogram("serve.latency_s")
+        info: Dict[str, Any] = {
+            "protocol": 1,
+            "running": self._running,
+            "uptime_s": (
+                time.monotonic() - self._started_s if self._running else 0.0
+            ),
+            "queue_depth": self.n_pending,
+            "max_pending": self.config.max_pending,
+            "max_batch": self.config.max_batch,
+            "linger_s": self.config.linger_s,
+            "workers": self.config.workers,
+            "requests": self.n_requests,
+            "rejected": self.n_rejected,
+            "timeouts": self.n_timeouts,
+            "batches": self.n_batches,
+            "searches": self.n_searches,
+            "batch_size": {
+                "count": batch_hist.count,
+                "mean": batch_hist.mean,
+                "p50": batch_hist.quantile(0.5),
+                "max": batch_hist.snapshot()["max"],
+            },
+            "latency_s": {
+                "count": latency_hist.count,
+                "mean": latency_hist.mean,
+                "p50": latency_hist.quantile(0.5),
+                "p99": latency_hist.quantile(0.99),
+            },
+            "sessions": {
+                session.name: session.stats()
+                for session in self.sessions()
+            },
+        }
+        info["persistent_hits"] = sum(
+            session.evaluator.persistent_hits for session in self.sessions()
+        )
+        if self.store is not None:
+            info["store"] = self.store.stats()
+        return info

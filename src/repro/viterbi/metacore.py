@@ -496,6 +496,39 @@ class ViterbiMetaCore:
             if store is not None:
                 store.close()
 
+    def serve(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        unix_path: Optional[str] = None,
+        config: Optional[object] = None,
+    ):
+        """Serve this MetaCore's evaluation engine to concurrent clients.
+
+        Starts the asyncio evaluation service (socket server on a
+        background thread) with this facade's ``workers`` /
+        ``cache_path`` / ``resilient`` settings and a pre-warmed
+        session for this specification; returns a started
+        :class:`~repro.serve.server.ServeHandle` (context manager).
+        Results are bit-identical to one-shot evaluation — see
+        ``docs/serving.md``.
+        """
+        # Imported lazily: repro.serve depends on this module.
+        from repro.serve import ServeHandle, ServiceConfig, spec_to_payload
+
+        if config is None:
+            config = ServiceConfig(
+                workers=self.workers,
+                cache_path=self.cache_path,
+                resilient=self.resilient,
+            )
+        handle = ServeHandle(
+            config, host=host, port=port, unix_path=unix_path
+        )
+        handle.start()
+        handle.service.session_for_spec(spec_to_payload(self.spec))
+        return handle
+
     def build(self, point: Point) -> ViterbiDecoder:
         """Construct the concrete decoder for a design point."""
         return build_decoder(point)

@@ -9,6 +9,22 @@ from repro.iir.design import design_filter, paper_bandpass_spec
 from repro.viterbi import ConvolutionalEncoder, Trellis
 
 
+def pytest_addoption(parser: pytest.Parser) -> None:
+    parser.addoption(
+        "--regen-golden",
+        action="store_true",
+        default=False,
+        help="rewrite the golden-vector fixtures under tests/golden/ "
+        "from the current implementation instead of comparing against "
+        "them (review the diff before committing!)",
+    )
+
+
+@pytest.fixture(scope="session")
+def regen_golden(request: pytest.FixtureRequest) -> bool:
+    return bool(request.config.getoption("--regen-golden"))
+
+
 @pytest.fixture(scope="session")
 def encoder_k3() -> ConvolutionalEncoder:
     return ConvolutionalEncoder(3)

@@ -27,6 +27,8 @@ from repro.viterbi import (
     bpsk_modulate,
 )
 from repro.viterbi.metacore import normalize_viterbi_point
+from repro.viterbi.puncture import STANDARD_PATTERNS, standard_pattern
+from repro.viterbi.tailbiting import decode_tailbiting, encode_tailbiting
 
 
 class TestDecoderProperties:
@@ -143,6 +145,166 @@ class TestPunctureProperties:
         keep = pattern.mask_array(steps)
         assert np.allclose(restored[..., keep], symbols[..., keep])
         assert np.isnan(restored[..., ~keep]).all()
+
+
+class TestPunctureErasureProperties:
+    """Round trips over streams that already carry erasures (NaN)."""
+
+    @given(
+        rate=st.sampled_from(sorted(STANDARD_PATTERNS)),
+        frames=st.integers(1, 3),
+        periods=st.integers(1, 4),
+        nan_fraction=st.floats(0.0, 0.5),
+        seed=st.integers(0, 1000),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_depuncture_puncture_identity_on_erasure_streams(
+        self, rate, frames, periods, nan_fraction, seed
+    ):
+        """depuncture(puncture(x)) restores every kept position
+        bit-exactly — including NaN erasures already present in x —
+        and marks every deleted position as an erasure."""
+        pattern = standard_pattern(rate)
+        steps = periods * pattern.period
+        rng = np.random.default_rng(seed)
+        symbols = rng.normal(size=(frames, steps, pattern.n_symbols))
+        erase = rng.random(symbols.shape) < nan_fraction
+        symbols[erase] = np.nan
+        punctured = pattern.puncture(symbols)
+        restored = pattern.depuncture(punctured, steps)
+        keep = pattern.mask_array(steps)
+        assert np.array_equal(
+            restored[..., keep], symbols[..., keep], equal_nan=True
+        )
+        assert np.isnan(restored[..., ~keep]).all()
+
+    @given(
+        rate=st.sampled_from(sorted(STANDARD_PATTERNS)),
+        periods=st.integers(1, 4),
+        nan_fraction=st.floats(0.0, 0.5),
+        seed=st.integers(0, 1000),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_puncture_depuncture_is_exact_identity(
+        self, rate, periods, nan_fraction, seed
+    ):
+        """The other direction is a full identity: re-puncturing a
+        depunctured stream gives back the received symbols verbatim."""
+        pattern = standard_pattern(rate)
+        steps = periods * pattern.period
+        rng = np.random.default_rng(seed)
+        kept = int(pattern.mask_array(steps).sum())
+        received = rng.normal(size=kept)
+        received[rng.random(kept) < nan_fraction] = np.nan
+        again = pattern.puncture(pattern.depuncture(received, steps))
+        assert np.array_equal(again, received, equal_nan=True)
+
+    @given(
+        rate=st.sampled_from(sorted(STANDARD_PATTERNS)),
+        periods=st.integers(1, 5),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_rate_bookkeeping(self, rate, periods):
+        pattern = standard_pattern(rate)
+        steps = periods * pattern.period
+        symbols = np.zeros((steps, pattern.n_symbols))
+        assert pattern.puncture(symbols).shape[-1] == (
+            periods * pattern.kept_per_period
+        )
+        k, n = pattern.rate
+        assert k * pattern.kept_per_period == n * pattern.period
+
+
+class TestTailbitingProperties:
+    @given(
+        k=st.integers(3, 5),
+        length=st.integers(16, 48),
+        seed=st.integers(0, 1000),
+        all_zero=st.booleans(),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_tailbiting_matches_terminated_decode_clean(
+        self, k, length, seed, all_zero
+    ):
+        """On clean symbols, the wrap-around tail-biting decode and the
+        standard (known-start) decode both recover the message exactly
+        — tail-biting pays no flush bits for the same answer."""
+        encoder = ConvolutionalEncoder(k)
+        decoder = ViterbiDecoder(
+            Trellis.from_encoder(encoder), HardQuantizer(), 6 * k
+        )
+        rng = np.random.default_rng(seed)
+        bits = (
+            np.zeros(length, dtype=np.int8)
+            if all_zero
+            else rng.integers(0, 2, size=length, dtype=np.int8)
+        )
+        tailbiting = decode_tailbiting(
+            decoder, bpsk_modulate(encode_tailbiting(encoder, bits))
+        )
+        terminated = decoder.decode(bpsk_modulate(encoder.encode(bits)))
+        assert np.array_equal(tailbiting, bits)
+        assert np.array_equal(terminated, bits)
+
+    @given(
+        k=st.integers(3, 5),
+        length=st.integers(20, 48),
+        seed=st.integers(0, 1000),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_tailbiting_matches_terminated_decode_high_snr(
+        self, k, length, seed
+    ):
+        """At 10 dB Es/N0 (hard-decision flip probability ~4e-6, and
+        any lone flip is inside the code's correction radius) both
+        decodes still recover the message."""
+        from repro.viterbi.channel import AWGNChannel
+
+        encoder = ConvolutionalEncoder(k)
+        decoder = ViterbiDecoder(
+            Trellis.from_encoder(encoder), HardQuantizer(), 6 * k
+        )
+        rng = np.random.default_rng(seed)
+        bits = rng.integers(0, 2, size=length, dtype=np.int8)
+        channel = AWGNChannel(10.0)
+        tailbiting = decode_tailbiting(
+            decoder,
+            channel.transmit(
+                encode_tailbiting(encoder, bits),
+                rng=np.random.default_rng(seed + 1),
+            ),
+            sigma=channel.sigma,
+        )
+        terminated = decoder.decode(
+            channel.transmit(
+                encoder.encode(bits), rng=np.random.default_rng(seed + 2)
+            ),
+            sigma=channel.sigma,
+        )
+        assert np.array_equal(tailbiting, bits)
+        assert np.array_equal(terminated, bits)
+
+    @given(
+        k=st.integers(3, 5),
+        length=st.integers(8, 32),
+        seed=st.integers(0, 1000),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_tailbiting_state_wraps(self, k, length, seed):
+        """Tail-biting encoding starts and ends in the same state, and
+        emits exactly one symbol pair per data bit (no flush)."""
+        encoder = ConvolutionalEncoder(k)
+        rng = np.random.default_rng(seed)
+        bits = rng.integers(0, 2, size=length, dtype=np.int8)
+        symbols = encode_tailbiting(encoder, bits)
+        assert symbols.shape == (length, encoder.n_outputs)
+        # Re-encoding from the wrap state reproduces the symbols.
+        state = 0
+        for bit in bits[-(k - 1):]:
+            state = encoder.next_state(state, int(bit))
+        assert np.array_equal(
+            encoder.encode(bits, initial_state=state), symbols
+        )
 
 
 class TestStructureProperties:

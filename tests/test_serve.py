@@ -1,0 +1,482 @@
+"""Differential and behavioral tests of the evaluation service.
+
+The load-bearing property is the **bit-identical guarantee**: whatever
+the service does — micro-batching, shuffled arrival order, forced batch
+splits, concurrent clients, worker threads — every evaluation record it
+answers must be *byte-identical* (compared as canonical JSON) to a
+serial one-shot evaluation of the same (point, fidelity).  The
+remaining tests cover the service mechanics the guarantee rides on:
+admission control, timeouts, resilience, the wire protocol, status,
+and shutdown.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import threading
+import time
+from typing import Dict, List
+
+import pytest
+
+from repro.core import BERThresholdCurve, SearchConfig
+from repro.errors import ConfigurationError
+from repro.serve import (
+    MicroBatcher,
+    ServeClient,
+    ServeHandle,
+    ServeRequestError,
+    ServiceConfig,
+    encode_message,
+    decode_message,
+    spec_to_payload,
+)
+
+
+def canonical(record: Dict[str, float]) -> bytes:
+    """The byte-level form differential comparisons use."""
+    return json.dumps(record, sort_keys=True, separators=(",", ":")).encode()
+
+
+class RecordingEvaluator:
+    """Deterministic toy evaluator that logs every batch it prices."""
+
+    max_fidelity = 2
+
+    def __init__(self, delay_s: float = 0.0) -> None:
+        self.delay_s = delay_s
+        self.batch_sizes: List[int] = []
+        self._lock = threading.Lock()
+
+    def fingerprint(self) -> str:
+        return f"recording:delay={self.delay_s}"
+
+    def evaluate(self, point, fidelity):
+        x = float(point["x"])
+        y = float(point.get("y", 0.0))
+        # Deliberately irrational arithmetic: any re-ordering or
+        # double-evaluation bug shows up in the low mantissa bits.
+        return {
+            "area_mm2": (x * 1.37 + y / 3.0) * (fidelity + 1) + x**1.5,
+            "spec_violation": 0.0 if x >= 0 else 1.0,
+            "fidelity_echo": float(fidelity),
+        }
+
+    def evaluate_many(self, points, fidelity):
+        return [
+            t.metrics for t in self.evaluate_many_timed(points, fidelity)
+        ]
+
+    def evaluate_many_timed(self, points, fidelity):
+        from repro.core.evaluation import TimedEvaluation
+
+        with self._lock:
+            self.batch_sizes.append(len(points))
+        if self.delay_s:
+            time.sleep(self.delay_s)
+        return [
+            TimedEvaluation(
+                metrics=self.evaluate(p, fidelity), elapsed_s=0.0
+            )
+            for p in points
+        ]
+
+
+class PoisonedEvaluator(RecordingEvaluator):
+    """Fails permanently on x == 13 (the poisoned point)."""
+
+    def fingerprint(self) -> str:
+        return "poisoned:v1"
+
+    def evaluate(self, point, fidelity):
+        if float(point["x"]) == 13.0:
+            raise ValueError("poisoned point")
+        return super().evaluate(point, fidelity)
+
+
+def started_handle(**config_kwargs) -> ServeHandle:
+    config = ServiceConfig(**{"linger_s": 0.002, **config_kwargs})
+    return ServeHandle(config).start()
+
+
+POINTS = [{"x": float(i), "y": float(i % 5)} for i in range(24)]
+
+
+class TestDifferentialEval:
+    """Serve path == serial path, byte for byte."""
+
+    def serial_records(self, factory, points, fidelity):
+        reference = factory()
+        return [canonical(reference.evaluate(p, fidelity)) for p in points]
+
+    def test_concurrent_clients_byte_identical(self):
+        evaluator = RecordingEvaluator(delay_s=0.002)
+        with started_handle(max_batch=4) as handle:
+            handle.service.register_evaluator("toy", evaluator)
+            results: Dict[int, bytes] = {}
+            errors: List[BaseException] = []
+            lock = threading.Lock()
+
+            def client_worker(worker: int) -> None:
+                # Each client walks the points in its own shuffled order.
+                order = list(range(len(POINTS)))
+                stride = 5 + worker
+                order = [
+                    order[(i * stride) % len(order)]
+                    for i in range(len(order))
+                ]
+                try:
+                    with handle.client() as client:
+                        for index in order:
+                            metrics = client.eval(
+                                POINTS[index], fidelity=1, session="toy"
+                            )
+                            with lock:
+                                results[index] = canonical(metrics)
+                except BaseException as exc:  # surfaced below
+                    errors.append(exc)
+
+            threads = [
+                threading.Thread(target=client_worker, args=(w,))
+                for w in range(3)
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+        assert not errors
+        serial = self.serial_records(RecordingEvaluator, POINTS, 1)
+        assert [results[i] for i in range(len(POINTS))] == serial
+        # The service must respect the batch bound...
+        assert max(evaluator.batch_sizes) <= 4
+        # ...and actually coalesce under concurrent load.
+        assert max(evaluator.batch_sizes) >= 2
+
+    def test_forced_batch_splits_byte_identical(self):
+        """max_batch=1 vs max_batch=8: identical records either way."""
+        outcomes = []
+        for max_batch in (1, 8):
+            evaluator = RecordingEvaluator()
+            with started_handle(max_batch=max_batch) as handle:
+                session = handle.service.register_evaluator(
+                    "toy", evaluator
+                )
+                futures = [
+                    handle.submit_async(
+                        handle.service.submit_point(session, point, 2)
+                    )
+                    for point in POINTS
+                ]
+                outcomes.append(
+                    [canonical(f.result(30)) for f in futures]
+                )
+            if max_batch == 1:
+                assert max(evaluator.batch_sizes) == 1
+        assert outcomes[0] == outcomes[1]
+        assert outcomes[0] == self.serial_records(
+            RecordingEvaluator, POINTS, 2
+        )
+
+    def test_shuffled_arrival_order_byte_identical(self):
+        evaluator = RecordingEvaluator()
+        with started_handle(max_batch=3) as handle:
+            session = handle.service.register_evaluator("toy", evaluator)
+            shuffled = list(reversed(POINTS))
+            futures = [
+                handle.submit_async(
+                    handle.service.submit_point(session, point, 0)
+                )
+                for point in shuffled
+            ]
+            records = [canonical(f.result(30)) for f in futures]
+        serial = self.serial_records(RecordingEvaluator, shuffled, 0)
+        assert records == serial
+
+    def test_real_viterbi_point_byte_identical(self):
+        from repro.viterbi import ViterbiSpec
+        from repro.viterbi.metacore import ViterbiMetacoreEvaluator
+
+        spec = ViterbiSpec(
+            throughput_bps=1e6,
+            ber_curve=BERThresholdCurve.single(2.0, 1e-2),
+        )
+        point = {
+            "K": 3, "L_mult": 3, "G": "standard", "R1": 1, "R2": 3,
+            "Q": "hard", "N": 1, "M": 0,
+        }
+        with started_handle(max_batch=4) as handle:
+            with handle.client() as client:
+                served = client.eval(
+                    point, fidelity=0, spec=spec_to_payload(spec)
+                )
+        serial = ViterbiMetacoreEvaluator(spec).evaluate(point, 0)
+        assert canonical(served) == canonical(serial)
+
+
+class TestDifferentialSearch:
+    def test_iir_search_selection_matches_direct(self):
+        """A search through the service picks the same winner as the
+        in-process facade — same point, same metrics, same count."""
+        from repro.iir import IIRMetaCore, IIRSpec
+
+        spec = IIRSpec.paper(4.0)
+        config = SearchConfig(max_resolution=1, refine_top_k=2)
+        direct = IIRMetaCore(spec, config=config).search()
+        with started_handle(max_batch=8) as handle:
+            with handle.client() as client:
+                served = client.search(
+                    spec=spec_to_payload(spec),
+                    config={"max_resolution": 1, "refine_top_k": 2},
+                )
+        assert served["feasible"] == direct.feasible
+        assert served["best_point"] == direct.best_point
+        assert canonical(served["best_metrics"]) == canonical(
+            direct.best_metrics
+        )
+        assert served["n_evaluations"] == direct.log.n_evaluations
+
+
+class TestBackpressure:
+    def test_admission_control_rejects_overload(self):
+        evaluator = RecordingEvaluator(delay_s=0.1)
+        with started_handle(
+            max_batch=1, max_pending=2, linger_s=0.0
+        ) as handle:
+            session = handle.service.register_evaluator("slow", evaluator)
+            futures = [
+                handle.submit_async(
+                    handle.service.submit_point(session, {"x": float(i)}, 0)
+                )
+                for i in range(8)
+            ]
+            outcomes = []
+            for future in futures:
+                try:
+                    outcomes.append(("ok", future.result(30)))
+                except Exception as exc:
+                    outcomes.append(("err", exc))
+        codes = [
+            getattr(exc, "code", None)
+            for kind, exc in outcomes
+            if kind == "err"
+        ]
+        assert codes and all(code == "overloaded" for code in codes)
+        # Admitted requests still answer correctly.
+        reference = RecordingEvaluator()
+        for (kind, value), i in zip(outcomes, range(8)):
+            if kind == "ok":
+                assert value == reference.evaluate({"x": float(i)}, 0)
+        status = handle.service.status()
+        assert status["rejected"] == len(codes)
+
+    def test_per_request_timeout(self):
+        evaluator = RecordingEvaluator(delay_s=0.5)
+        with started_handle(max_batch=1, linger_s=0.0) as handle:
+            session = handle.service.register_evaluator("slow", evaluator)
+            future = handle.submit_async(
+                handle.service.submit_point(
+                    session, {"x": 1.0}, 0, timeout_s=0.05
+                )
+            )
+            with pytest.raises(Exception) as info:
+                future.result(30)
+            assert getattr(info.value, "code", None) == "timeout"
+            assert handle.service.status()["timeouts"] == 1
+
+    def test_client_timeout_over_the_wire(self):
+        evaluator = RecordingEvaluator(delay_s=0.5)
+        with started_handle(max_batch=1, linger_s=0.0) as handle:
+            handle.service.register_evaluator("slow", evaluator)
+            with handle.client() as client:
+                with pytest.raises(ServeRequestError) as info:
+                    client.eval(
+                        {"x": 1.0}, session="slow", timeout_s=0.05
+                    )
+                assert info.value.code == "timeout"
+
+
+class TestResilience:
+    def test_poisoned_point_quarantined_not_fatal(self):
+        evaluator = PoisonedEvaluator()
+        with started_handle(
+            max_batch=4, resilient=True, max_retries=0
+        ) as handle:
+            handle.service.register_evaluator("poison", evaluator)
+            with handle.client() as client:
+                poisoned = client.eval({"x": 13.0}, session="poison")
+                healthy = client.eval({"x": 2.0}, session="poison")
+                status = client.status()
+        assert poisoned["evaluation_failed"] == 1.0
+        assert poisoned["area_mm2"] == float("inf")
+        reference = PoisonedEvaluator()
+        assert healthy == reference.evaluate({"x": 2.0}, 0)
+        (session_stats,) = status["sessions"].values()
+        assert session_stats["resilience"]["quarantined"] == 1
+
+    def test_unprotected_poison_fails_only_its_request(self):
+        evaluator = PoisonedEvaluator()
+        with started_handle(max_batch=1, linger_s=0.0) as handle:
+            handle.service.register_evaluator("poison", evaluator)
+            with handle.client() as client:
+                with pytest.raises(ServeRequestError) as info:
+                    client.eval({"x": 13.0}, session="poison")
+                assert info.value.code == "evaluation_failed"
+                # The service survives and keeps answering.
+                healthy = client.eval({"x": 2.0}, session="poison")
+        assert healthy == PoisonedEvaluator().evaluate({"x": 2.0}, 0)
+
+
+class TestCaching:
+    def test_repeat_points_hit_shared_cache(self):
+        evaluator = RecordingEvaluator()
+        with started_handle(max_batch=4) as handle:
+            handle.service.register_evaluator("toy", evaluator)
+            with handle.client() as client:
+                first = client.eval({"x": 7.0}, session="toy")
+                second = client.eval({"x": 7.0}, session="toy")
+                status = client.status()
+        assert canonical(first) == canonical(second)
+        (session_stats,) = status["sessions"].values()
+        assert session_stats["cache_hits"] >= 1
+        assert session_stats["hit_ratio"] > 0
+        # The point was computed exactly once.
+        assert sum(evaluator.batch_sizes) == 1
+
+    def test_persistent_cache_warm_restart(self, tmp_path):
+        from repro.iir import IIRSpec
+
+        cache = str(tmp_path / "serve-cache.jsonl")
+        payload = spec_to_payload(IIRSpec.paper(4.0))
+        point = {
+            "structure": "cascade", "family": "elliptic",
+            "word_length": 12, "ripple_allocation": 0.85,
+        }
+        with started_handle(cache_path=cache) as handle:
+            with handle.client() as client:
+                cold = client.eval(point, spec=payload)
+        with started_handle(cache_path=cache) as handle:
+            with handle.client() as client:
+                warm = client.eval(point, spec=payload)
+                status = client.status()
+        assert canonical(cold) == canonical(warm)
+        assert status["persistent_hits"] == 1
+        assert status["store"]["entries"] >= 1
+
+
+class TestProtocolAndStatus:
+    def test_status_shape(self):
+        with started_handle(max_batch=4) as handle:
+            handle.service.register_evaluator(
+                "toy", RecordingEvaluator()
+            )
+            with handle.client() as client:
+                assert client.ping() == {"pong": True, "protocol": 1}
+                client.eval({"x": 1.0}, session="toy")
+                status = client.status()
+        assert status["running"] is True
+        assert status["requests"] == 1
+        assert status["batches"] == 1
+        assert status["batch_size"]["count"] == 1
+        assert status["batch_size"]["mean"] == 1.0
+        assert status["latency_s"]["count"] == 1
+        assert status["latency_s"]["p99"] >= status["latency_s"]["p50"]
+        assert status["queue_depth"] == 0
+
+    def test_unknown_session_is_bad_request(self):
+        with started_handle() as handle:
+            with handle.client() as client:
+                with pytest.raises(ServeRequestError) as info:
+                    client.eval({"x": 1.0}, session="nope")
+                assert info.value.code == "bad_request"
+
+    def test_unknown_op_and_garbage_line(self):
+        with started_handle() as handle:
+            with socket.create_connection(handle.address, timeout=10) as s:
+                stream = s.makefile("rwb")
+                stream.write(encode_message({"id": 1, "op": "frobnicate"}))
+                stream.flush()
+                response = decode_message(stream.readline())
+                assert response["ok"] is False
+                assert response["error"]["code"] == "bad_request"
+                stream.write(b"this is not json\n")
+                stream.flush()
+                response = decode_message(stream.readline())
+                assert response["ok"] is False
+                assert response["error"]["code"] == "protocol"
+
+    def test_fidelity_validation(self):
+        with started_handle() as handle:
+            handle.service.register_evaluator(
+                "toy", RecordingEvaluator()
+            )
+            with handle.client() as client:
+                with pytest.raises(ServeRequestError) as info:
+                    client.eval({"x": 1.0}, fidelity=9, session="toy")
+                assert info.value.code == "bad_request"
+
+    def test_duplicate_registration_rejected(self):
+        with started_handle() as handle:
+            handle.service.register_evaluator("toy", RecordingEvaluator())
+            with pytest.raises(ConfigurationError):
+                handle.service.register_evaluator(
+                    "toy", RecordingEvaluator()
+                )
+
+
+class TestShutdown:
+    def test_clean_shutdown_via_client(self):
+        handle = started_handle()
+        handle.service.register_evaluator("toy", RecordingEvaluator())
+        with handle.client() as client:
+            client.eval({"x": 1.0}, session="toy")
+            client.shutdown()
+        deadline = time.monotonic() + 10
+        while handle._thread is not None and handle._thread.is_alive():
+            if time.monotonic() > deadline:
+                pytest.fail("server thread did not exit")
+            time.sleep(0.01)
+        assert handle.service.status()["running"] is False
+        with pytest.raises(OSError):
+            socket.create_connection(handle.address, timeout=1)
+
+    def test_stop_is_idempotent(self):
+        handle = started_handle()
+        handle.stop()
+        handle.stop()
+        assert handle.service.status()["running"] is False
+
+
+class TestMicroBatcherUnit:
+    def test_linger_and_bound(self):
+        import asyncio
+
+        async def scenario():
+            ran: List[List[int]] = []
+
+            async def run_batch(key, requests):
+                ran.append([r.point["x"] for r in requests])
+                for request in requests:
+                    request.future.set_result({"ok": 1.0})
+
+            batcher = MicroBatcher(
+                run_batch, max_batch=3, linger_s=0.01
+            )
+            loop = asyncio.get_running_loop()
+            from repro.serve import PendingRequest
+
+            futures = []
+            for i in range(7):
+                future = loop.create_future()
+                futures.append(future)
+                batcher.submit(
+                    "k", PendingRequest({"x": i}, 0, future)
+                )
+            await asyncio.gather(*futures)
+            await batcher.close()
+            return ran
+
+        batches = asyncio.run(scenario())
+        assert [x for batch in batches for x in batch] == list(range(7))
+        assert all(len(batch) <= 3 for batch in batches)
+        assert max(len(batch) for batch in batches) >= 2
