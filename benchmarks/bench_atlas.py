@@ -1,0 +1,116 @@
+"""Benchmark: warm-started search speedup from the design atlas.
+
+Runs the real Viterbi facade search twice against a fresh atlas and
+writes ``BENCH_atlas.json`` at the repo root:
+
+- ``cold_s``  — first search of the scenario (empty library), the
+  price every query pays without an atlas;
+- ``warm_s``  — the identical search warm-started from the library
+  the cold run just populated (exact-fingerprint replay preloads the
+  evaluation cache, so no decoder ever runs);
+- ``recommend_s`` — mean latency of a zero-evaluation ``recommend``
+  answered straight from the stored Pareto frontier.
+
+The acceptance bar is the subsystem's contract: the warm search must
+select the **same design** as the cold one (bit-reproducible warm
+start) at **>= MIN_SPEEDUP x** the speed, and a covered ``recommend``
+must answer without touching the evaluator.  The scenario is small so
+the benchmark finishes in seconds; the speedup grows with scenario
+size because replay cost is O(records) while search cost is
+O(evaluations x simulation).
+
+Run with::
+
+    PYTHONPATH=src python benchmarks/bench_atlas.py
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+from repro.core import BERThresholdCurve, SearchConfig
+from repro.viterbi import ViterbiMetaCore, ViterbiSpec
+
+#: Pinned scenario: small but real (decoder + BER simulation runs).
+FIXED = {"G": "standard", "N": 1, "K": 3, "Q": "hard"}
+CONFIG = SearchConfig(max_resolution=1, refine_top_k=1)
+RECOMMEND_REPEATS = 20
+
+#: Warm search must beat cold by at least this factor.
+MIN_SPEEDUP = 2.0
+
+
+def build(atlas_path: str) -> ViterbiMetaCore:
+    return ViterbiMetaCore(
+        ViterbiSpec(1e6, BERThresholdCurve.single(4.0, 5e-2)),
+        fixed=dict(FIXED),
+        config=CONFIG,
+        atlas_path=atlas_path,
+    )
+
+
+def main() -> int:
+    repo_root = Path(__file__).resolve().parent.parent
+    with tempfile.TemporaryDirectory() as tmp:
+        metacore = build(str(Path(tmp) / "atlas.jsonl"))
+
+        start = time.perf_counter()
+        cold = metacore.search()
+        cold_s = time.perf_counter() - start
+
+        start = time.perf_counter()
+        warm = metacore.search()
+        warm_s = time.perf_counter() - start
+
+        recommend_start = time.perf_counter()
+        for _ in range(RECOMMEND_REPEATS):
+            recommendation = metacore.recommend()
+        recommend_s = (
+            time.perf_counter() - recommend_start
+        ) / RECOMMEND_REPEATS
+
+    same_design = warm.best_point == cold.best_point
+    speedup = cold_s / warm_s if warm_s > 0 else float("inf")
+    report = {
+        "benchmark": "design-atlas warm-start speedup (Viterbi facade search)",
+        "fixed": FIXED,
+        "cold_s": round(cold_s, 4),
+        "cold_evaluations": cold.log.n_evaluations,
+        "warm_s": round(warm_s, 4),
+        "warm_evaluations": warm.log.n_evaluations,
+        "warm_replayed": warm.atlas_replayed,
+        "warm_seeds": warm.atlas_seeds,
+        "speedup": round(speedup, 1),
+        "same_design": same_design,
+        "recommend_s": round(recommend_s, 6),
+        "recommend_source": recommendation.source,
+        "recommend_evaluations": recommendation.n_evaluations,
+    }
+    out = repo_root / "BENCH_atlas.json"
+    out.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
+    print(json.dumps(report, indent=2))
+    ok = (
+        same_design
+        and speedup >= MIN_SPEEDUP
+        and recommendation.source == "atlas"
+        and recommendation.n_evaluations == 0
+    )
+    if not ok:
+        print(
+            f"FAIL: warm search must reproduce the cold selection "
+            f"(got same_design={same_design}) at >= {MIN_SPEEDUP:.0f}x "
+            f"speed (got {speedup:.1f}x), and recommend must answer "
+            f"from the library with zero evaluations (got "
+            f"source={recommendation.source!r}, "
+            f"n={recommendation.n_evaluations})",
+            file=sys.stderr,
+        )
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,45 @@
+"""The design atlas: a persistent Pareto library over MetaCore runs.
+
+Turns one-shot searches into an accumulating service: every search's
+evaluation log is ingested into a JSONL-backed store
+(:class:`~repro.atlas.store.DesignAtlas`), Pareto frontiers are kept
+per scenario (:mod:`repro.atlas.frontier`), nearby scenarios seed each
+other's searches (:mod:`repro.atlas.similarity`), constraint queries
+are answered without evaluation when the library covers them
+(:mod:`repro.atlas.recommend`), and scenario portfolios populate the
+library in one pass (:mod:`repro.atlas.sweep`).
+"""
+
+from repro.atlas.frontier import ParetoFrontier, frontier_objectives
+from repro.atlas.recommend import Recommendation, query_frontier, recommend
+from repro.atlas.similarity import (
+    DEFAULT_SIMILARITY_THRESHOLD,
+    AtlasSeeder,
+    goal_signature,
+    ingest_result,
+    scenario_distance,
+    seeder_for,
+    spec_features,
+)
+from repro.atlas.store import ATLAS_SCHEMA_VERSION, DesignAtlas, format_atlas_report
+from repro.atlas.sweep import SweepOutcome, run_sweep
+
+__all__ = [
+    "ATLAS_SCHEMA_VERSION",
+    "AtlasSeeder",
+    "DEFAULT_SIMILARITY_THRESHOLD",
+    "DesignAtlas",
+    "ParetoFrontier",
+    "Recommendation",
+    "SweepOutcome",
+    "format_atlas_report",
+    "frontier_objectives",
+    "goal_signature",
+    "ingest_result",
+    "query_frontier",
+    "seeder_for",
+    "recommend",
+    "run_sweep",
+    "scenario_distance",
+    "spec_features",
+]

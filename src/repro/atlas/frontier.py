@@ -1,0 +1,92 @@
+"""Incrementally maintained Pareto frontiers per atlas scenario.
+
+Each scenario of the design atlas keeps the non-dominated subset of
+its exact-fidelity evaluations.  The frontier spans the scenario
+goal's objectives *plus* every constrained metric pushed away from its
+bound — a design that trades a little area for a lot of constraint
+margin is dominated under the goal alone, yet it is exactly the stored
+answer a *tighter* future constraint query needs.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Sequence, Tuple
+
+from repro.core.evaluation import EvaluationRecord
+from repro.core.objectives import DesignGoal, Direction, Objective
+from repro.core.pareto import dominates, front_sort_key
+
+
+def frontier_objectives(goal: DesignGoal) -> List[Objective]:
+    """The axes a scenario's frontier spans.
+
+    Goal objectives first (primary order preserved), then one derived
+    objective per constrained metric: an upper bound minimizes, a
+    lower bound maximizes.  Metrics already covered by an objective are
+    not duplicated.
+    """
+    axes = list(goal.objectives)
+    covered = {objective.metric for objective in axes}
+    for constraint in goal.all_constraints():
+        if constraint.metric in covered:
+            continue
+        covered.add(constraint.metric)
+        direction = (
+            Direction.MINIMIZE
+            if constraint.upper is not None
+            else Direction.MAXIMIZE
+        )
+        axes.append(Objective(constraint.metric, direction))
+    return axes
+
+
+class ParetoFrontier:
+    """A non-dominated record set updated one evaluation at a time.
+
+    ``add`` is O(frontier) per record; the members are kept in the
+    deterministic order of :func:`repro.core.pareto.front_sort_key`,
+    so a frontier rebuilt from the same records in any insertion order
+    holds the same designs.
+    """
+
+    def __init__(self, objectives: Sequence[Objective]) -> None:
+        self.objectives = list(objectives)
+        self._records: List[EvaluationRecord] = []
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> Iterator[EvaluationRecord]:
+        return iter(self._records)
+
+    @property
+    def records(self) -> Tuple[EvaluationRecord, ...]:
+        return tuple(self._records)
+
+    def add(self, record: EvaluationRecord) -> bool:
+        """Offer one record; returns True when the frontier changed.
+
+        A record of a point already on the frontier replaces it when
+        its fidelity is at least as high (re-confirmation); dominated
+        offers are rejected, and an accepted offer evicts every member
+        it dominates.
+        """
+        for index, existing in enumerate(self._records):
+            if existing.point == record.point:
+                if record.fidelity < existing.fidelity:
+                    return False
+                self._records.pop(index)
+                break
+        if any(
+            dominates(existing.metrics, record.metrics, self.objectives)
+            for existing in self._records
+        ):
+            return False
+        self._records = [
+            existing
+            for existing in self._records
+            if not dominates(record.metrics, existing.metrics, self.objectives)
+        ]
+        self._records.append(record)
+        self._records.sort(key=lambda r: front_sort_key(r, self.objectives))
+        return True

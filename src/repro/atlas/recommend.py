@@ -1,0 +1,155 @@
+"""Constraint-query recommendation over the atlas frontier.
+
+``recommend`` is the zero-evaluation fast path of the library: when a
+stored exact-fidelity frontier design already satisfies the query, it
+is returned straight from memory in O(frontier) — no evaluator touch,
+no simulation, no synthesis estimate.  Only on a miss does the query
+fall back to a (warm-started) search, whose log then grows the library
+so the *next* nearby query hits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, Mapping, Optional
+
+from repro.core.evaluation import EvaluationRecord
+from repro.core.objectives import Constraint, DesignGoal, Metrics
+from repro.core.parameters import Point
+from repro.observability.metrics import get_registry
+
+
+@dataclass
+class Recommendation:
+    """The answer to one constraint query."""
+
+    point: Optional[Point]
+    metrics: Optional[Metrics]
+    #: ``"atlas"`` — answered from the stored frontier with zero
+    #: evaluations; ``"search"`` — a fallback search had to run.
+    source: str
+    #: Evaluations spent answering (0 on a library hit).
+    n_evaluations: int = 0
+    feasible: bool = False
+    extra_constraints: Dict[str, float] = field(default_factory=dict)
+
+    def summary(self) -> str:
+        lines = [
+            f"source: {self.source}",
+            f"evaluations: {self.n_evaluations}",
+            f"feasible: {self.feasible}",
+        ]
+        if self.point is not None:
+            point = ", ".join(f"{k}={v}" for k, v in sorted(self.point.items()))
+            lines.append(f"design: {{{point}}}")
+        if self.metrics is not None:
+            metrics = ", ".join(
+                f"{k}={v:.4g}" for k, v in sorted(self.metrics.items())
+            )
+            lines.append(f"metrics: {{{metrics}}}")
+        return "\n".join(lines)
+
+
+def _tightened_goal(
+    goal: DesignGoal, constraints: Optional[Mapping[str, float]]
+) -> DesignGoal:
+    """The scenario goal plus per-query upper bounds."""
+    if not constraints:
+        return goal
+    extra = [
+        Constraint(metric=str(metric), upper=float(bound))
+        for metric, bound in sorted(constraints.items())
+    ]
+    return DesignGoal(
+        objectives=list(goal.objectives),
+        constraints=list(goal.constraints) + extra,
+        ber_curve=goal.ber_curve,
+    )
+
+
+def query_frontier(
+    frontier: Iterable[EvaluationRecord],
+    goal: DesignGoal,
+    constraints: Optional[Mapping[str, float]] = None,
+) -> Optional[EvaluationRecord]:
+    """Best stored design satisfying the query, or None.
+
+    One O(frontier) pass: every frontier record is checked against the
+    scenario goal plus the per-query upper bounds; feasible records
+    compete on the goal's comparison (primary objective).  Touches no
+    evaluator.
+    """
+    tightened = _tightened_goal(goal, constraints)
+    best: Optional[EvaluationRecord] = None
+    for record in frontier:
+        if not tightened.is_feasible(record.metrics):
+            continue
+        if best is None or tightened.compare(record.metrics, best.metrics) < 0:
+            best = record
+    return best
+
+
+def recommend(
+    atlas,
+    fingerprint: str,
+    goal: DesignGoal,
+    constraints: Optional[Mapping[str, float]] = None,
+    fallback: Optional[Callable[[], object]] = None,
+) -> Recommendation:
+    """Answer a constraint query from the library, searching on a miss.
+
+    Hit: a stored frontier design satisfies the (tightened) goal —
+    returned with ``n_evaluations == 0`` and the ``atlas.hits`` counter
+    bumped.  Miss: ``atlas.misses`` is bumped and ``fallback`` (a
+    zero-argument callable running a search whose log is ingested into
+    the atlas, e.g. a warm-started facade search) provides the design;
+    the refreshed frontier is re-queried so the recommendation reflects
+    the now-stored answer.
+    """
+    registry = get_registry()
+    extra = {str(k): float(v) for k, v in (constraints or {}).items()}
+    hit = query_frontier(atlas.frontier(fingerprint), goal, extra)
+    if hit is not None:
+        registry.counter("atlas.hits").inc()
+        return Recommendation(
+            point=hit.as_point(),
+            metrics=dict(hit.metrics),
+            source="atlas",
+            n_evaluations=0,
+            feasible=True,
+            extra_constraints=extra,
+        )
+    registry.counter("atlas.misses").inc()
+    if fallback is None:
+        return Recommendation(
+            point=None,
+            metrics=None,
+            source="atlas",
+            n_evaluations=0,
+            feasible=False,
+            extra_constraints=extra,
+        )
+    result = fallback()
+    n_evaluations = result.log.n_evaluations if result is not None else 0
+    refreshed = query_frontier(atlas.frontier(fingerprint), goal, extra)
+    if refreshed is not None:
+        return Recommendation(
+            point=refreshed.as_point(),
+            metrics=dict(refreshed.metrics),
+            source="search",
+            n_evaluations=n_evaluations,
+            feasible=True,
+            extra_constraints=extra,
+        )
+    tightened = _tightened_goal(goal, extra)
+    best_metrics = result.best_metrics if result is not None else None
+    return Recommendation(
+        point=result.best_point if result is not None else None,
+        metrics=dict(best_metrics) if best_metrics is not None else None,
+        source="search",
+        n_evaluations=n_evaluations,
+        feasible=(
+            best_metrics is not None and tightened.is_feasible(best_metrics)
+        ),
+        extra_constraints=extra,
+    )

@@ -1,0 +1,211 @@
+"""Scenario similarity for atlas warm-starts.
+
+A scenario is one (specification, goal) pair, identified exactly by
+its evaluator fingerprint.  Warm-starting a *new* scenario from the
+library means finding stored scenarios whose specification is nearby —
+"nearby" measured over a normalized numeric feature vector extracted
+from the spec (throughput and BER curve for Viterbi; sample period and
+filter edges/ripples for IIR).  Rates and BERs span decades, so they
+enter the vector in log10.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List, Mapping, Optional, Tuple
+
+from repro.core.evalcache import evaluator_fingerprint
+from repro.core.objectives import DesignGoal
+from repro.core.parameters import Point, frozen_point
+
+#: Scenarios farther apart than this (RMS relative feature distance)
+#: are not used to seed each other.  0.25 roughly means "specs agree
+#: to within ~25% per feature" — e.g. a BER bound of 4e-2 vs 5e-2 at
+#: the same SNR is well inside; a different SNR grid is not.
+DEFAULT_SIMILARITY_THRESHOLD = 0.25
+
+
+def spec_features(spec: object) -> Dict[str, float]:
+    """Normalized numeric feature vector of a facade specification.
+
+    Dispatches on the concrete spec type (imported lazily so the atlas
+    package never drags in a driver it is not serving).  Raises
+    ``TypeError`` for unknown spec types — the caller should then fall
+    back to exact-fingerprint matching only.
+    """
+    from repro.viterbi.metacore import ViterbiSpec
+
+    if isinstance(spec, ViterbiSpec):
+        features = {
+            "log10_throughput": math.log10(spec.throughput_bps),
+            "feature_um": float(spec.feature_um),
+        }
+        for index, (es_n0_db, ber) in enumerate(spec.ber_curve.points):
+            features[f"es_n0_db_{index}"] = float(es_n0_db)
+            features[f"log10_ber_{index}"] = math.log10(ber)
+        return features
+
+    from repro.iir.metacore import IIRSpec
+
+    if isinstance(spec, IIRSpec):
+        from repro.iir.design import BandpassSpec, LowpassSpec
+
+        features = {
+            "log10_period_us": math.log10(spec.sample_period_us),
+            "feature_um": float(spec.feature_um),
+        }
+        filter_spec = spec.filter_spec
+        if isinstance(filter_spec, LowpassSpec):
+            features.update(
+                passband_edge=filter_spec.passband_edge,
+                stopband_edge=filter_spec.stopband_edge,
+                log10_passband_ripple=math.log10(filter_spec.passband_ripple),
+                log10_stopband_ripple=math.log10(filter_spec.stopband_ripple),
+            )
+        elif isinstance(filter_spec, BandpassSpec):
+            features.update(
+                passband_low=filter_spec.passband_low,
+                passband_high=filter_spec.passband_high,
+                stopband_low=filter_spec.stopband_low,
+                stopband_high=filter_spec.stopband_high,
+                log10_passband_ripple=math.log10(filter_spec.passband_ripple),
+                log10_stopband_ripple=math.log10(filter_spec.stopband_ripple),
+            )
+        else:
+            raise TypeError(
+                f"no feature extractor for filter spec {type(filter_spec).__name__}"
+            )
+        return features
+
+    raise TypeError(f"no feature extractor for spec {type(spec).__name__}")
+
+
+def goal_signature(goal: DesignGoal) -> str:
+    """A stable string identifying the *shape* of a goal.
+
+    Two scenarios can only seed each other when they optimize the same
+    metrics under the same kinds of constraints; the bound *values*
+    live in the feature vector, not here.
+    """
+    objectives = ",".join(
+        f"{objective.metric}:{objective.direction.value}"
+        for objective in goal.objectives
+    )
+    constraints = ",".join(
+        sorted(
+            f"{constraint.metric}:{'u' if constraint.upper is not None else 'l'}"
+            for constraint in goal.all_constraints()
+        )
+    )
+    return f"obj[{objectives}] con[{constraints}]"
+
+
+def scenario_distance(
+    a: Mapping[str, float], b: Mapping[str, float]
+) -> float:
+    """RMS relative distance between two feature vectors.
+
+    Each feature contributes ``(va - vb) / max(1, |va|, |vb|)`` so
+    large-magnitude features (SNRs in dB) and unit-scale ones (log
+    ratios) weigh comparably.  Vectors over different feature sets are
+    incomparable: distance is +inf.
+    """
+    if set(a) != set(b):
+        return math.inf
+    if not a:
+        return math.inf
+    total = 0.0
+    for key, va in a.items():
+        vb = b[key]
+        scale = max(1.0, abs(va), abs(vb))
+        total += ((va - vb) / scale) ** 2
+    return math.sqrt(total / len(a))
+
+
+class AtlasSeeder:
+    """Adapts a :class:`~repro.atlas.store.DesignAtlas` to the seed-source
+    duck type ``MetacoreSearch`` consumes.
+
+    ``replay()`` yields ``(frozen_point, fidelity, metrics)`` for every
+    stored record of the *exact* scenario (same evaluator fingerprint),
+    letting the search answer its grid walk from the library.
+    ``seeds()`` yields ``(point_dict, exact)`` frontier designs: the
+    exact scenario's own frontier plus the frontiers of neighboring
+    scenarios within the similarity threshold.
+    """
+
+    def __init__(
+        self,
+        atlas,
+        fingerprint: str,
+        kind: str,
+        features: Optional[Mapping[str, float]],
+        goal: DesignGoal,
+        threshold: float = DEFAULT_SIMILARITY_THRESHOLD,
+    ) -> None:
+        self.atlas = atlas
+        self.fingerprint = fingerprint
+        self.kind = kind
+        self.features = dict(features) if features is not None else None
+        self.goal = goal
+        self.threshold = threshold
+
+    def replay(self) -> Iterable[Tuple[Tuple, int, Dict[str, float]]]:
+        for record in self.atlas.replay(self.fingerprint):
+            yield (
+                frozen_point(dict(record.point)),
+                record.fidelity,
+                dict(record.metrics),
+            )
+
+    def seeds(self) -> List[Tuple[Point, bool]]:
+        seeds: List[Tuple[Point, bool]] = []
+        for record in self.atlas.frontier(self.fingerprint):
+            seeds.append((dict(record.point), True))
+        if self.features is None:
+            return seeds
+        signature = goal_signature(self.goal)
+        for neighbor_fp, _distance in self.atlas.neighbors(
+            self.kind, self.features, signature, self.threshold
+        ):
+            if neighbor_fp == self.fingerprint:
+                continue
+            for record in self.atlas.frontier(neighbor_fp):
+                seeds.append((dict(record.point), False))
+        return seeds
+
+
+def seeder_for(
+    atlas,
+    evaluator,
+    kind: str,
+    spec: object,
+    goal: DesignGoal,
+    threshold: float = DEFAULT_SIMILARITY_THRESHOLD,
+) -> AtlasSeeder:
+    """The seed source for one scenario (facade / serve wiring).
+
+    ``evaluator`` is the *base* engine (not a parallel or resilient
+    wrapper) so the fingerprint matches the persistent-cache key.
+    Specs without a feature extractor degrade gracefully to
+    exact-fingerprint matching only.
+    """
+    try:
+        features: Optional[Dict[str, float]] = spec_features(spec)
+    except TypeError:
+        features = None
+    return AtlasSeeder(
+        atlas, evaluator_fingerprint(evaluator), kind, features, goal, threshold
+    )
+
+
+def ingest_result(atlas, seeder: AtlasSeeder, records, max_fidelity: int):
+    """Fold a finished search's log into the seeder's scenario."""
+    return atlas.ingest(
+        seeder.fingerprint,
+        seeder.kind,
+        seeder.features,
+        seeder.goal,
+        records,
+        max_fidelity,
+    )

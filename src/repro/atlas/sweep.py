@@ -1,0 +1,85 @@
+"""Portfolio driver: populate the atlas from a batch of scenarios.
+
+A sweep is how a library gets built in one pass — run every scenario
+of a portfolio through its facade search (each ingests its log into
+the shared atlas), then report the per-spec winners alongside the
+library growth.  Later scenarios in the same sweep already warm-start
+from the earlier ones when their specs are near.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.batch import SpecificationSweep, SweepRow
+
+
+@dataclass
+class SweepOutcome:
+    """The rows of a portfolio sweep plus the resulting library state."""
+
+    rows: List[SweepRow]
+    sweep: SpecificationSweep
+    atlas_stats: Dict[str, object]
+
+    def format_table(self) -> str:
+        table = self.sweep.format_table(
+            extra_columns={
+                "evals": lambda row: str(row.result.log.n_evaluations),
+                "atlas-warm": lambda row: (
+                    f"{row.result.atlas_seeds}s/{row.result.atlas_replayed}r"
+                ),
+            }
+        )
+        stats = self.atlas_stats
+        footer = (
+            f"atlas: {stats['scenarios']} scenarios, "
+            f"{stats['records']} records, "
+            f"{stats['frontier']} frontier designs -> {stats['path']}"
+        )
+        return table + "\n" + footer
+
+
+def run_sweep(
+    metacores: Sequence[object],
+    labels: Optional[Sequence[str]] = None,
+) -> SweepOutcome:
+    """Search every facade in order, ingesting each log into its atlas.
+
+    ``metacores`` are configured facade instances (``ViterbiMetaCore``
+    / ``IIRMetaCore``), typically sharing one ``atlas_path``; ingestion
+    happens inside each facade's ``search()``.  The feasibility metric
+    for the "average case" column follows the first facade's goal
+    (``ber_violation`` for BER-curve goals, ``spec_violation``
+    otherwise).
+    """
+    metacores = list(metacores)
+    if not metacores:
+        raise ValueError("nothing to sweep")
+    first_goal = metacores[0].spec.goal()
+    feasibility_metric = (
+        "ber_violation" if first_goal.ber_curve is not None else "spec_violation"
+    )
+    sweep = SpecificationSweep(
+        runner=lambda metacore: metacore.search(),
+        objective_metric=first_goal.primary.metric,
+        feasibility_metric=feasibility_metric,
+    )
+    if labels is None:
+        labels = [str(metacore.spec) for metacore in metacores]
+    rows = sweep.run(metacores, labels=labels)
+    atlas_stats: Dict[str, object] = {
+        "path": None,
+        "scenarios": 0,
+        "records": 0,
+        "frontier": 0,
+        "skipped": 0,
+    }
+    atlas_path = getattr(metacores[0], "atlas_path", None)
+    if atlas_path is not None:
+        from repro.atlas.store import DesignAtlas
+
+        with DesignAtlas(atlas_path) as atlas:
+            atlas_stats = atlas.stats()
+    return SweepOutcome(rows=rows, sweep=sweep, atlas_stats=atlas_stats)

@@ -20,6 +20,13 @@ related parameters"; this CLI exposes the same controls::
                           --ber 1e-2 --throughput 1e6 --k 5 --fidelity 1
     metacores client search --port 7777 --metacore iir --period-us 1.0
     metacores client status --port 7777
+    metacores sweep --metacore viterbi --atlas atlas.jsonl \
+                    --specs 1e-2:1e6 1e-2:2e6 1e-4:2e6
+    metacores recommend --metacore viterbi --atlas atlas.jsonl \
+                        --ber 1e-2 --throughput 1e6 --constraint area_mm2=40
+    metacores atlas-report atlas.jsonl
+    metacores viterbi-search --ber 1e-2 --throughput 1e6 --atlas atlas.jsonl
+    metacores client recommend --port 7777 --metacore iir --period-us 1.0
 
 Run ``metacores <command> --help`` for the full parameter list of each
 command.
@@ -120,6 +127,35 @@ def _add_parallel_args(parser: argparse.ArgumentParser) -> None:
         help="persistent evaluation cache (JSONL); reruns of the same "
         "specification start warm and skip already-priced points",
     )
+
+
+def _add_atlas_arg(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--atlas",
+        metavar="FILE",
+        default=None,
+        help="persistent design atlas (JSONL); searches warm-start from "
+        "stored frontiers and ingest their results back "
+        "(inspect with `metacores atlas-report FILE`)",
+    )
+
+
+def _parse_constraints(pairs: Optional[List[str]]) -> dict:
+    """``NAME=VALUE`` pairs into a metric -> upper-bound dict."""
+    constraints = {}
+    for pair in pairs or []:
+        name, sep, value = pair.partition("=")
+        if not sep or not name:
+            raise ConfigurationError(
+                f"constraint {pair!r} is not NAME=VALUE"
+            )
+        try:
+            constraints[name] = float(value)
+        except ValueError:
+            raise ConfigurationError(
+                f"constraint {pair!r} has a non-numeric bound"
+            ) from None
+    return constraints
 
 
 #: Storage classes a Viterbi campaign can inject (IIR state is driven
@@ -236,6 +272,7 @@ def cmd_viterbi_search(args: argparse.Namespace) -> int:
         config=config,
         workers=args.workers,
         cache_path=args.cache,
+        atlas_path=args.atlas,
     )
     with _tracing(args):
         try:
@@ -315,7 +352,11 @@ def cmd_iir_search(args: argparse.Namespace) -> int:
         max_resolution=args.max_resolution, refine_top_k=args.top_k
     )
     metacore = IIRMetaCore(
-        spec, config=config, workers=args.workers, cache_path=args.cache
+        spec,
+        config=config,
+        workers=args.workers,
+        cache_path=args.cache,
+        atlas_path=args.atlas,
     )
     with _tracing(args):
         try:
@@ -431,6 +472,126 @@ def cmd_table4(args: argparse.Namespace) -> int:
     return 0
 
 
+def _recommend_metacore(args: argparse.Namespace):
+    """The facade a `recommend`/`sweep` invocation addresses."""
+    config = SearchConfig(
+        max_resolution=args.max_resolution, refine_top_k=args.top_k
+    )
+    if args.metacore == "viterbi":
+        if args.ber is None or args.throughput is None:
+            raise ConfigurationError(
+                "viterbi recommendations need --ber and --throughput"
+            )
+        spec = ViterbiSpec(
+            throughput_bps=args.throughput,
+            ber_curve=BERThresholdCurve.single(args.es_n0_db, args.ber),
+            feature_um=args.feature_um,
+        )
+        return ViterbiMetaCore(
+            spec,
+            fixed={"G": "standard", "N": 1},
+            config=config,
+            workers=args.workers,
+            cache_path=args.cache,
+            atlas_path=args.atlas,
+        )
+    if args.period_us is None:
+        raise ConfigurationError("iir recommendations need --period-us")
+    return IIRMetaCore(
+        IIRSpec.paper(args.period_us),
+        config=config,
+        workers=args.workers,
+        cache_path=args.cache,
+        atlas_path=args.atlas,
+    )
+
+
+def cmd_recommend(args: argparse.Namespace) -> int:
+    """Answer a constraint query from the design atlas."""
+    try:
+        constraints = _parse_constraints(args.constraint)
+        metacore = _recommend_metacore(args)
+    except ConfigurationError as error:
+        print(f"invalid request: {error}", file=sys.stderr)
+        return 2
+    with _tracing(args):
+        recommendation = metacore.recommend(constraints or None)
+    print(recommendation.summary())
+    if args.metacore == "viterbi" and recommendation.point is not None:
+        print(f"instance: {describe_point(recommendation.point)}")
+    return 0 if recommendation.feasible else 1
+
+
+def cmd_sweep(args: argparse.Namespace) -> int:
+    """Populate the atlas from a portfolio of specifications."""
+    config = SearchConfig(
+        max_resolution=args.max_resolution, refine_top_k=args.top_k
+    )
+    try:
+        if args.metacore == "viterbi":
+            if not args.specs:
+                raise ConfigurationError(
+                    "viterbi sweeps need --specs BER:THROUGHPUT ..."
+                )
+            pairs = []
+            for token in args.specs:
+                ber_s, sep, thr_s = token.partition(":")
+                if not sep:
+                    raise ConfigurationError(
+                        f"spec {token!r} is not BER:THROUGHPUT"
+                    )
+                pairs.append((float(ber_s), float(thr_s)))
+            specs = [
+                ViterbiSpec(
+                    throughput_bps=throughput,
+                    ber_curve=BERThresholdCurve.single(args.es_n0_db, ber),
+                    feature_um=args.feature_um,
+                )
+                for ber, throughput in pairs
+            ]
+            labels = [f"{b:g}@{t / 1e6:g}Mbps" for b, t in pairs]
+            prototype = ViterbiMetaCore(
+                specs[0],
+                fixed={"G": "standard", "N": 1},
+                config=config,
+                workers=args.workers,
+                cache_path=args.cache,
+                atlas_path=args.atlas,
+            )
+        else:
+            if not args.periods:
+                raise ConfigurationError("iir sweeps need --periods ...")
+            specs = [IIRSpec.paper(period) for period in args.periods]
+            labels = [f"{period:g} us" for period in args.periods]
+            prototype = IIRMetaCore(
+                specs[0],
+                config=config,
+                workers=args.workers,
+                cache_path=args.cache,
+                atlas_path=args.atlas,
+            )
+    except (ConfigurationError, ValueError) as error:
+        print(f"invalid sweep: {error}", file=sys.stderr)
+        return 2
+    with _tracing(args):
+        outcome = prototype.sweep(specs, labels=labels)
+    print(outcome.format_table())
+    return 0
+
+
+def cmd_atlas_report(args: argparse.Namespace) -> int:
+    """Summarize a design-atlas file: scenarios, frontiers, stats."""
+    from repro.atlas import DesignAtlas, format_atlas_report
+
+    try:
+        atlas = DesignAtlas(args.file)
+    except OSError as error:
+        print(f"cannot read atlas file: {error}", file=sys.stderr)
+        return 1
+    print(format_atlas_report(atlas))
+    return 0
+
+
 def cmd_inject_campaign(args: argparse.Namespace) -> int:
     """Sweep fault rate x storage class over one decoder instance."""
     point = _point_from_args(args)
@@ -484,6 +645,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
         workers=args.workers,
         cache_path=args.cache,
         resilient=args.resilient,
+        atlas_path=args.atlas,
     )
 
     def on_ready(server) -> None:
@@ -562,6 +724,22 @@ def cmd_client(args: argparse.Namespace) -> int:
                 print("server stopping")
                 return 0
             spec = _client_spec_payload(args)
+            if args.client_command == "recommend":
+                result = client.recommend(
+                    spec=spec,
+                    constraints=_parse_constraints(args.constraint) or None,
+                    config={
+                        "max_resolution": args.max_resolution,
+                        "refine_top_k": args.top_k,
+                    },
+                )
+                print(result["summary"])
+                if (
+                    args.metacore == "viterbi"
+                    and result.get("point") is not None
+                ):
+                    print(f"instance: {describe_point(result['point'])}")
+                return 0 if result.get("feasible") else 1
             if args.client_command == "eval":
                 metrics = client.eval(
                     _client_point(args), fidelity=args.fidelity, spec=spec
@@ -636,6 +814,7 @@ def build_parser() -> argparse.ArgumentParser:
     search.add_argument("--top-k", type=int, default=3)
     _add_parallel_args(search)
     _add_checkpoint_args(search)
+    _add_atlas_arg(search)
     _add_trace_arg(search)
     search.set_defaults(func=cmd_viterbi_search)
 
@@ -667,6 +846,7 @@ def build_parser() -> argparse.ArgumentParser:
     iir.add_argument("--top-k", type=int, default=4)
     _add_parallel_args(iir)
     _add_checkpoint_args(iir)
+    _add_atlas_arg(iir)
     _add_trace_arg(iir)
     iir.set_defaults(func=cmd_iir_search)
 
@@ -752,6 +932,85 @@ def build_parser() -> argparse.ArgumentParser:
     )
     campaign_report.set_defaults(func=cmd_campaign_report)
 
+    def _add_facade_spec_args(sub_parser: argparse.ArgumentParser) -> None:
+        sub_parser.add_argument(
+            "--metacore", choices=("viterbi", "iir"), required=True
+        )
+        sub_parser.add_argument(
+            "--ber", type=float, default=None, help="max BER (viterbi)"
+        )
+        sub_parser.add_argument(
+            "--es-n0-db", type=float, default=2.0,
+            help="Es/N0 of the BER spec (dB)",
+        )
+        sub_parser.add_argument(
+            "--throughput", type=float, default=None,
+            help="bits per second (viterbi)",
+        )
+        sub_parser.add_argument("--feature-um", type=float, default=0.25)
+        sub_parser.add_argument(
+            "--period-us", type=float, default=None,
+            help="sample period in us (iir)",
+        )
+        sub_parser.add_argument("--max-resolution", type=int, default=2)
+        sub_parser.add_argument("--top-k", type=int, default=3)
+
+    recommend = sub.add_parser(
+        "recommend",
+        help="answer a constraint query from the design atlas "
+        "(zero evaluations on a library hit)",
+    )
+    _add_facade_spec_args(recommend)
+    recommend.add_argument(
+        "--constraint", action="append", metavar="NAME=VALUE", default=None,
+        help="extra upper bound on a metric (repeatable), "
+        "e.g. --constraint area_mm2=40",
+    )
+    recommend.add_argument(
+        "--atlas", metavar="FILE", required=True,
+        help="design atlas to query (and grow on a miss)",
+    )
+    _add_parallel_args(recommend)
+    _add_trace_arg(recommend)
+    recommend.set_defaults(func=cmd_recommend)
+
+    sweep = sub.add_parser(
+        "sweep",
+        help="search a portfolio of specifications into one atlas",
+    )
+    sweep.add_argument(
+        "--metacore", choices=("viterbi", "iir"), required=True
+    )
+    sweep.add_argument(
+        "--specs", nargs="+", metavar="BER:THROUGHPUT", default=None,
+        help="viterbi scenario list, e.g. --specs 1e-2:1e6 1e-4:2e6",
+    )
+    sweep.add_argument(
+        "--periods", type=float, nargs="+", metavar="US", default=None,
+        help="iir sample-period list (us), e.g. --periods 1.0 2.0",
+    )
+    sweep.add_argument(
+        "--es-n0-db", type=float, default=2.0,
+        help="Es/N0 of the viterbi BER specs (dB)",
+    )
+    sweep.add_argument("--feature-um", type=float, default=0.25)
+    sweep.add_argument("--max-resolution", type=int, default=2)
+    sweep.add_argument("--top-k", type=int, default=3)
+    sweep.add_argument(
+        "--atlas", metavar="FILE", required=True,
+        help="design atlas the sweep populates",
+    )
+    _add_parallel_args(sweep)
+    _add_trace_arg(sweep)
+    sweep.set_defaults(func=cmd_sweep)
+
+    atlas_report = sub.add_parser(
+        "atlas-report",
+        help="summarize a design-atlas file (scenarios and frontiers)",
+    )
+    atlas_report.add_argument("file", help="atlas JSONL written by --atlas")
+    atlas_report.set_defaults(func=cmd_atlas_report)
+
     trace_report = sub.add_parser(
         "trace-report",
         help="aggregate a --trace JSONL file into per-stage totals",
@@ -794,6 +1053,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="retry and quarantine failing evaluations per session",
     )
     _add_parallel_args(serve)
+    _add_atlas_arg(serve)
     serve.set_defaults(func=cmd_serve)
 
     client = sub.add_parser(
@@ -862,6 +1122,20 @@ def build_parser() -> argparse.ArgumentParser:
     client_search.add_argument("--max-resolution", type=int, default=2)
     client_search.add_argument("--top-k", type=int, default=3)
     client_search.set_defaults(func=cmd_client)
+
+    client_recommend = client_sub.add_parser(
+        "recommend",
+        help="query the server's design atlas for a satisfying design",
+    )
+    _add_connection_args(client_recommend)
+    _add_spec_args(client_recommend)
+    client_recommend.add_argument(
+        "--constraint", action="append", metavar="NAME=VALUE", default=None,
+        help="extra upper bound on a metric (repeatable)",
+    )
+    client_recommend.add_argument("--max-resolution", type=int, default=2)
+    client_recommend.add_argument("--top-k", type=int, default=3)
+    client_recommend.set_defaults(func=cmd_client)
 
     client_status = client_sub.add_parser(
         "status", help="print the server's status snapshot"

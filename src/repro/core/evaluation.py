@@ -224,6 +224,26 @@ class CachingEvaluator:
         """Requests answered from the on-disk cross-run cache."""
         return self._persistent_hits
 
+    def preload(
+        self, key: Tuple, fidelity: int, metrics: Mapping[str, float]
+    ) -> bool:
+        """Seed the in-memory cache with an externally stored evaluation.
+
+        The warm-start path of the design atlas replays a previous
+        run's records through here before the search begins.  Preloaded
+        entries answer requests like any cached result but touch
+        neither the log (nothing was computed) nor the hit/miss
+        counters (nothing was requested yet).  Returns True when the
+        entry was installed, False when an equal-or-higher-fidelity
+        record is already cached.
+        """
+        with self._lock:
+            existing = self._cache.get(key)
+            if existing is not None and existing[0] >= int(fidelity):
+                return False
+            self._cache[key] = (int(fidelity), dict(metrics))
+            return True
+
     def evaluate(self, point: Point, fidelity: int) -> Metrics:
         return self.evaluate_many([point], fidelity)[0]
 

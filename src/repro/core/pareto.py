@@ -8,7 +8,7 @@ logs.
 
 from __future__ import annotations
 
-from typing import Iterable, List, Mapping, Sequence
+from typing import Iterable, List, Mapping, Sequence, Tuple
 
 from repro.core.evaluation import EvaluationRecord
 from repro.core.objectives import Objective
@@ -36,6 +36,21 @@ def dominates(
     return at_least_as_good and strictly_better
 
 
+def front_sort_key(
+    record: EvaluationRecord, objectives: Sequence[Objective]
+) -> Tuple:
+    """Deterministic total order over front members.
+
+    Primary sort is the full objective-score vector; equal-metric
+    records fall back to the (stringified) design point, so the front's
+    order never depends on dict/iteration order of the input.
+    """
+    return (
+        tuple(objective.score(record.metrics) for objective in objectives),
+        tuple((str(name), repr(value)) for name, value in record.point),
+    )
+
+
 def pareto_front(
     records: Iterable[EvaluationRecord],
     objectives: Sequence[Objective],
@@ -58,5 +73,5 @@ def pareto_front(
         ):
             continue
         front.append(record)
-    front.sort(key=lambda r: objectives[0].score(r.metrics))
+    front.sort(key=lambda r: front_sort_key(r, objectives))
     return front

@@ -78,6 +78,14 @@ class SearchResult:
     cache_misses: int = 0
     #: Requests answered by the on-disk cross-run cache (warm starts).
     persistent_hits: int = 0
+    #: Frontier designs injected from the design atlas as fine-level
+    #: candidates (0 when no atlas was attached or nothing matched).
+    atlas_seeds: int = 0
+    #: Prior-run evaluations replayed from the atlas into the cache.
+    atlas_replayed: int = 0
+    #: Coarse levels the injected seeds bypassed (seeds enter directly
+    #: at the deepest resolution level instead of surviving the funnel).
+    atlas_levels_skipped: int = 0
 
     @property
     def best_point(self) -> Optional[Point]:
@@ -110,6 +118,13 @@ class SearchResult:
             f"regions explored: {self.regions_explored}",
             f"feasible: {self.feasible}",
         ]
+        if self.atlas_seeds or self.atlas_replayed or self.atlas_levels_skipped:
+            lines.insert(
+                3,
+                f"atlas: {self.atlas_seeds} seeds"
+                f" / {self.atlas_replayed} replayed"
+                f" / {self.atlas_levels_skipped} levels-skipped",
+            )
         if self.best is not None:
             lines.append(f"best: {self.best}")
         return "\n".join(lines)
@@ -121,7 +136,18 @@ PointNormalizer = Callable[[Point], Point]
 
 
 class MetacoreSearch:
-    """The recursive multiresolution search of Fig. 6."""
+    """The recursive multiresolution search of Fig. 6.
+
+    ``atlas`` optionally attaches a design-atlas seed source (any
+    object with ``replay()`` and ``seeds()``, see
+    :class:`repro.atlas.similarity.AtlasSeeder`).  Replayed records
+    from an identical prior scenario answer grid rounds for free;
+    frontier designs of *similar* scenarios are injected as fine-level
+    candidates after the cold recursion, and the confirmation pass
+    takes the better of the cold-only and the seeded walk — so a
+    warm-started search is never worse than the cold search at the
+    same budget.
+    """
 
     def __init__(
         self,
@@ -131,6 +157,7 @@ class MetacoreSearch:
         config: Optional[SearchConfig] = None,
         normalizer: Optional[PointNormalizer] = None,
         store: Optional[PersistentEvalCache] = None,
+        atlas: Optional[object] = None,
     ) -> None:
         self.space = space
         self.goal = goal
@@ -139,6 +166,7 @@ class MetacoreSearch:
         self.log = EvaluationLog()
         self.evaluator = CachingEvaluator(evaluator, self.log, store=store)
         self.predictor = BayesianBERPredictor(space)
+        self.atlas = atlas
         self._ranked: Dict[Tuple, Metrics] = {}
         self._regions_seen: Set[Tuple] = set()
 
@@ -148,11 +176,38 @@ class MetacoreSearch:
         """Execute the full search and return the best design found."""
         self._ranked.clear()
         self._regions_seen.clear()
+        registry = get_registry()
         with get_tracer().span("search.run") as run_span:
+            atlas_replayed = self._replay_atlas()
             self._search_region(Region.full(self.space), level=0)
+            # Seeds are injected *after* the cold recursion: the
+            # Bayesian predictor's state is insertion-order dependent,
+            # so evaluating seeds first would perturb the cold
+            # candidates' regularized metrics and void the differential
+            # guarantee below.
+            cold_ranked = dict(self._ranked)
+            atlas_seeds = levels_skipped = 0
+            if self.atlas is not None:
+                atlas_seeds, levels_skipped = self._inject_seeds()
+                registry.counter("atlas.warm_seeds").inc(atlas_seeds)
+                registry.counter("atlas.levels_skipped").inc(levels_skipped)
             with get_tracer().span("search.confirm") as confirm_span:
                 before = self.log.n_evaluations
                 best_key, metrics = self._confirm_winner()
+                if atlas_seeds:
+                    # Differential guarantee: re-run the walk over the
+                    # cold candidates alone (their ranked metrics are
+                    # bit-identical to a cold run's) and keep the
+                    # better confirmed winner.  Shared max-fidelity
+                    # cache entries make the second walk cheap.
+                    cold_key, cold_metrics = self._confirm_winner(
+                        ranked=cold_ranked
+                    )
+                    if cold_key is not None and (
+                        metrics is None
+                        or self.goal.compare(cold_metrics, metrics) < 0
+                    ):
+                        best_key, metrics = cold_key, cold_metrics
                 confirm_span.set(evaluations=self.log.n_evaluations - before)
             best: Optional[EvaluationRecord] = None
             feasible = False
@@ -171,6 +226,8 @@ class MetacoreSearch:
                 cache_hits=self.evaluator.cache_hits,
                 cache_misses=self.evaluator.cache_misses,
                 persistent_hits=self.evaluator.persistent_hits,
+                atlas_seeds=atlas_seeds,
+                atlas_replayed=atlas_replayed,
                 feasible=feasible,
             )
         return SearchResult(
@@ -181,27 +238,102 @@ class MetacoreSearch:
             cache_hits=self.evaluator.cache_hits,
             cache_misses=self.evaluator.cache_misses,
             persistent_hits=self.evaluator.persistent_hits,
+            atlas_seeds=atlas_seeds,
+            atlas_replayed=atlas_replayed,
+            atlas_levels_skipped=levels_skipped,
         )
 
-    def _confirm_winner(self) -> Tuple[Optional[Tuple], Optional[Metrics]]:
+    # -- atlas warm start ------------------------------------------------
+
+    def _replay_atlas(self) -> int:
+        """Preload the exact scenario's stored records into the cache."""
+        if self.atlas is None:
+            return 0
+        replayed = 0
+        for key, fidelity, metrics in self.atlas.replay():
+            if self.evaluator.preload(key, fidelity, metrics):
+                replayed += 1
+        if replayed:
+            get_registry().counter("atlas.replayed").inc(replayed)
+        return replayed
+
+    def _inject_seeds(self) -> Tuple[int, int]:
+        """Price near-neighbor frontier designs as fine-level candidates.
+
+        Each seed skips the coarse funnel entirely: it is evaluated at
+        the deepest level's fidelity and competes directly in the
+        confirmation pass.  Seeds from a *different* (but similar)
+        scenario additionally refine the region around their nearest
+        coarse grid point at the deepest level — the atlas neighbor
+        already paid for the coarse exploration that would have located
+        that region.
+        """
+        deep_level = max(0, self.config.max_resolution)
+        fidelity = self._fidelity_for_level(deep_level)
+        points: List[Point] = []
+        exact_flags: List[bool] = []
+        seen: Set[Tuple] = set()
+        for raw_point, exact in self.atlas.seeds():
+            try:
+                point = self._normalize(dict(raw_point))
+                self.space.validate_point(point)
+            except Exception:
+                continue  # seed from an incompatible space slice
+            key = frozen_point(point)
+            if key in seen:
+                continue
+            seen.add(key)
+            points.append(point)
+            exact_flags.append(bool(exact))
+        if not points:
+            return 0, 0
+        with get_tracer().span(
+            "search.seed", seeds=len(points), fidelity=fidelity
+        ):
+            evaluated = self.evaluator.evaluate_many(points, fidelity)
+            for point, raw_metrics in zip(points, evaluated):
+                metrics = self._apply_bayes(point, dict(raw_metrics))
+                self._record_ranked(frozen_point(point), metrics)
+            full = Region.full(self.space)
+            grid = full.grid(0, self.config.max_grid_points)
+            for point, exact in zip(points, exact_flags):
+                if exact:
+                    continue  # its own frontier is already refined
+                anchor = self._closest_grid_point(point, grid)
+                if anchor is None:
+                    continue
+                try:
+                    region = full.refine_around(anchor, grid.samples)
+                except Exception:
+                    continue
+                self._search_region(region, deep_level)
+        return len(points), len(points) * deep_level
+
+    def _confirm_winner(
+        self, ranked: Optional[Dict[Tuple, Metrics]] = None
+    ) -> Tuple[Optional[Tuple], Optional[Metrics]]:
         """Re-price the top-ranked candidates at full fidelity.
 
         Cheap evaluations rank; expensive ones decide.  The top
         ``confirm_top_k`` candidates by the search's (possibly noisy)
         ranking are re-evaluated at the evaluator's highest fidelity
-        and compared on the confirmed numbers.
+        and compared on the confirmed numbers.  ``ranked`` restricts
+        the walk to an alternative candidate pool (the atlas warm
+        start's cold-only differential pass).
         """
-        if not self._ranked:
+        if ranked is None:
+            ranked = self._ranked
+        if not ranked:
             return None, None
         ranked_keys = sorted(
-            self._ranked,
+            ranked,
             key=cmp_to_key(
-                lambda a, b: self.goal.compare(self._ranked[a], self._ranked[b])
+                lambda a, b: self.goal.compare(ranked[a], ranked[b])
             ),
         )
         if not self.config.confirm_best:
             key = ranked_keys[0]
-            return key, self._ranked[key]
+            return key, ranked[key]
         best_key: Optional[Tuple] = None
         best_metrics: Optional[Metrics] = None
         top_k = max(1, self.config.confirm_top_k)

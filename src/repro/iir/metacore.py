@@ -14,8 +14,9 @@ prices the implementation with the HYPER-style synthesis estimator.
 from __future__ import annotations
 
 import math
+import dataclasses
 from dataclasses import dataclass, field
-from typing import Dict, Optional, Tuple
+from typing import Dict, Optional, Sequence, Tuple
 
 from repro.core.evalcache import PersistentEvalCache
 from repro.core.objectives import Constraint, DesignGoal, Objective
@@ -264,16 +265,40 @@ class IIRMetaCore:
     max_rounds: Optional[int] = None
     #: Wrap the evaluator in the retry/quarantine shim.
     resilient: bool = False
+    #: Path of the persistent design atlas (None = no library): searches
+    #: warm-start from it and ingest their logs back into it.
+    atlas_path: Optional[str] = None
 
     def design_space(self) -> DesignSpace:
         """Structure x family x word length x ripple allocation."""
         return iir_design_space(self.fixed)
 
+    def _open_atlas(self, engine: "IIRMetacoreEvaluator"):
+        """(atlas, seeder) for this scenario, or (None, None)."""
+        if not self.atlas_path:
+            return None, None
+        # Imported lazily: repro.atlas dispatches on the spec types.
+        from repro.atlas import DesignAtlas, seeder_for
+
+        atlas = DesignAtlas(self.atlas_path)
+        seeder = seeder_for(atlas, engine, "iir", self.spec, self.spec.goal())
+        return atlas, seeder
+
     def search(self) -> SearchResult:
         """Run the multiresolution search for this specification."""
         if self.checkpoint_path:
             return self.search_session().result
-        evaluator: object = IIRMetacoreEvaluator(self.spec)
+        engine = IIRMetacoreEvaluator(self.spec)
+        atlas, seeder = self._open_atlas(engine)
+        try:
+            return self._run_search(engine, atlas, seeder)
+        finally:
+            if atlas is not None:
+                atlas.close()
+
+    def _run_search(self, engine, atlas, seeder) -> SearchResult:
+        """One search against an already-open atlas handle (or None)."""
+        evaluator: object = engine
         parallel: Optional[ParallelEvaluator] = None
         store: Optional[PersistentEvalCache] = None
         try:
@@ -288,8 +313,16 @@ class IIRMetaCore:
                 evaluator,
                 config=self.config,
                 store=store,
+                atlas=seeder,
             )
-            return searcher.run()
+            result = searcher.run()
+            if atlas is not None:
+                from repro.atlas import ingest_result
+
+                ingest_result(
+                    atlas, seeder, result.log.records, engine.max_fidelity
+                )
+            return result
         finally:
             if parallel is not None:
                 parallel.close()
@@ -307,9 +340,11 @@ class IIRMetaCore:
 
         if not self.checkpoint_path:
             raise ConfigurationError("search_session requires checkpoint_path")
-        evaluator: object = IIRMetacoreEvaluator(self.spec)
+        engine = IIRMetacoreEvaluator(self.spec)
+        evaluator: object = engine
         parallel: Optional[ParallelEvaluator] = None
         store: Optional[PersistentEvalCache] = None
+        atlas, seeder = self._open_atlas(engine)
         try:
             if self.workers and self.workers > 1:
                 parallel = ParallelEvaluator(evaluator, workers=self.workers)
@@ -326,13 +361,26 @@ class IIRMetaCore:
                 resume=self.resume,
                 max_rounds=self.max_rounds,
                 resilient=self.resilient,
+                atlas=seeder,
             )
-            return session.run()
+            session_result = session.run()
+            if atlas is not None:
+                from repro.atlas import ingest_result
+
+                ingest_result(
+                    atlas,
+                    seeder,
+                    session_result.result.log.records,
+                    engine.max_fidelity,
+                )
+            return session_result
         finally:
             if parallel is not None:
                 parallel.close()
             if store is not None:
                 store.close()
+            if atlas is not None:
+                atlas.close()
 
     def serve(
         self,
@@ -359,6 +407,7 @@ class IIRMetaCore:
                 workers=self.workers,
                 cache_path=self.cache_path,
                 resilient=self.resilient,
+                atlas_path=self.atlas_path,
             )
         handle = ServeHandle(
             config, host=host, port=port, unix_path=unix_path
@@ -366,6 +415,59 @@ class IIRMetaCore:
         handle.start()
         handle.service.session_for_spec(spec_to_payload(self.spec))
         return handle
+
+    def recommend(self, constraints: Optional[Dict[str, float]] = None):
+        """Answer a constraint query from the design atlas.
+
+        ``constraints`` are extra per-query upper bounds on metrics
+        (e.g. ``{"area_mm2": 8.0}``) tightening the specification's
+        goal.  A stored frontier design covering the query is returned
+        with **zero evaluations**; a library miss falls back to a
+        (warm-started) :meth:`search`, whose log is ingested so the
+        next nearby query hits.  Requires :attr:`atlas_path`; returns a
+        :class:`~repro.atlas.recommend.Recommendation`.
+        """
+        if not self.atlas_path:
+            raise ConfigurationError("recommend requires atlas_path")
+        # Imported lazily: repro.atlas dispatches on the spec types.
+        from repro.atlas import DesignAtlas, recommend, seeder_for
+
+        engine = IIRMetacoreEvaluator(self.spec)
+        with DesignAtlas(self.atlas_path) as atlas:
+            seeder = seeder_for(atlas, engine, "iir", self.spec, self.spec.goal())
+            recommendation = recommend(
+                atlas,
+                seeder.fingerprint,
+                self.spec.goal(),
+                constraints=constraints,
+                fallback=self._recommend_fallback(atlas, seeder),
+            )
+        return recommendation
+
+    def _recommend_fallback(self, atlas, seeder):
+        """A warm-started search over the already-open atlas handle."""
+
+        def fallback() -> SearchResult:
+            engine = IIRMetacoreEvaluator(self.spec)
+            return self._run_search(engine, atlas, seeder)
+
+        return fallback
+
+    def sweep(
+        self,
+        specs: Sequence[IIRSpec],
+        labels: Optional[Sequence[str]] = None,
+    ):
+        """Search a portfolio of specifications into one atlas.
+
+        Each spec runs through a copy of this facade (same fixed
+        parameters, config, workers, cache, atlas); returns a
+        :class:`~repro.atlas.sweep.SweepOutcome`.
+        """
+        from repro.atlas import run_sweep
+
+        metacores = [dataclasses.replace(self, spec=spec) for spec in specs]
+        return run_sweep(metacores, labels=labels)
 
     def build(self, point: Point) -> Realization:
         """The quantized realization a design point describes."""

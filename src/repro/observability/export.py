@@ -240,6 +240,19 @@ def format_trace_report(summary: TraceSummary) -> str:
             f"evaluator cache: {int(hits)} hits / {int(misses)} misses / "
             f"{int(persistent)} persistent-hits ({rate:.1f}% hit rate)"
         )
+    atlas_hits = summary.counter_value("atlas.hits")
+    atlas_misses = summary.counter_value("atlas.misses")
+    atlas_replayed = summary.counter_value("atlas.replayed")
+    atlas_seeds = summary.counter_value("atlas.warm_seeds")
+    atlas_skipped = summary.counter_value("atlas.levels_skipped")
+    if atlas_hits or atlas_misses or atlas_replayed or atlas_seeds:
+        lines.append(
+            f"design atlas: {int(atlas_hits)} hits / "
+            f"{int(atlas_misses)} misses / "
+            f"{int(atlas_replayed)} replayed / "
+            f"{int(atlas_seeds)} warm-seeds "
+            f"({int(atlas_skipped)} levels skipped)"
+        )
     cpu_s = summary.counter_value("evaluator.cpu_s")
     wall_s = summary.counter_value("evaluator.wall_s")
     if cpu_s or wall_s:
@@ -259,6 +272,11 @@ def format_trace_report(summary: TraceSummary) -> str:
             "evaluator.persistent_hits",
             "evaluator.cpu_s",
             "evaluator.wall_s",
+            "atlas.hits",
+            "atlas.misses",
+            "atlas.replayed",
+            "atlas.warm_seeds",
+            "atlas.levels_skipped",
         )
     }
     if counters:

@@ -307,6 +307,9 @@ class SearchSession:
     max_retries: int = 2
     backoff_s: float = 0.1
     timeout_s: Optional[float] = None
+    #: Atlas seed source (see :class:`repro.atlas.similarity.AtlasSeeder`),
+    #: forwarded to the underlying search for warm starts.
+    atlas: Optional[object] = None
 
     def run(self) -> SessionResult:
         """Run (or resume) the search; checkpoints land on every round."""
@@ -338,6 +341,7 @@ class SearchSession:
                 config=self.config,
                 normalizer=self.normalizer,
                 store=self.store,
+                atlas=self.atlas,
             )
             result = search.run()
         return SessionResult(

@@ -131,6 +131,28 @@ class ServeClient:
             "search", spec=spec, session=session, config=config, fixed=fixed
         )
 
+    def recommend(
+        self,
+        spec: Optional[Dict[str, Any]] = None,
+        session: Optional[str] = None,
+        constraints: Optional[Dict[str, Any]] = None,
+        config: Optional[Dict[str, Any]] = None,
+        fixed: Optional[Dict[str, Any]] = None,
+    ) -> Dict[str, Any]:
+        """Query the server's design atlas for a satisfying design.
+
+        A library hit answers with ``n_evaluations == 0``; a miss runs
+        a warm-started search server-side and answers from its result.
+        """
+        return self._call(
+            "recommend",
+            spec=spec,
+            session=session,
+            constraints=constraints,
+            config=config,
+            fixed=fixed,
+        )
+
     def shutdown(self) -> Dict[str, Any]:
         """Ask the server to exit cleanly."""
         return self._call("shutdown")

@@ -20,6 +20,12 @@ Operations
     Run a full multiresolution search for a spec: ``metacore``/``spec``
     plus optional ``config`` (SearchConfig fields) and ``fixed``
     (pinned design-space parameters).
+``recommend``
+    Answer a constraint query from the server's design atlas:
+    ``metacore``/``spec`` (or ``session``) plus optional
+    ``constraints`` (metric -> upper bound), ``config``, ``fixed``.
+    A library hit answers with zero evaluations; a miss falls back to
+    a warm-started search whose log grows the atlas.
 ``shutdown``
     Ask the server to stop accepting work and exit cleanly.
 

@@ -212,6 +212,17 @@ class ServeServer:
                 fixed=message.get("fixed"),
             )
             return ok_response(request_id, result)
+        if op == "recommend":
+            session = self.service.resolve_session(
+                message.get("spec"), message.get("session")
+            )
+            result = await self.service.submit_recommend(
+                session,
+                constraints=message.get("constraints"),
+                config_fields=message.get("config"),
+                fixed=message.get("fixed"),
+            )
+            return ok_response(request_id, result)
         if op == "shutdown":
             if not self.allow_shutdown:
                 return error_response(

@@ -101,6 +101,9 @@ class ServiceConfig:
     workers: int = 1
     #: Shared persistent cross-run cache (None = memory only).
     cache_path: Optional[str] = None
+    #: Shared design atlas: served searches warm-start from it and
+    #: ingest into it, and the ``recommend`` op answers from it.
+    atlas_path: Optional[str] = None
     #: Wrap session evaluators in the retry/quarantine shim.
     resilient: bool = False
     #: Retries per failing point when ``resilient`` (see the shim).
@@ -249,6 +252,11 @@ class EvaluationService:
             if self.config.cache_path
             else None
         )
+        self.atlas = None
+        if self.config.atlas_path:
+            from repro.atlas.store import DesignAtlas
+
+            self.atlas = DesignAtlas(self.config.atlas_path)
         self.loop: Optional[asyncio.AbstractEventLoop] = None
         self._sessions: Dict[str, EvaluatorSession] = {}
         self._sessions_lock = threading.Lock()
@@ -268,6 +276,7 @@ class EvaluationService:
         self.n_timeouts = 0
         self.n_batches = 0
         self.n_searches = 0
+        self.n_recommends = 0
         #: Per-service instruments backing the ``status`` endpoint; the
         #: same updates also land in the process-wide registry so the
         #: telemetry exporter sees them.
@@ -317,6 +326,8 @@ class EvaluationService:
             session.close()
         if self.store is not None:
             self.store.close()
+        if self.atlas is not None:
+            self.atlas.close()
 
     # -- sessions --------------------------------------------------------
 
@@ -557,12 +568,44 @@ class EvaluationService:
             dict(fixed or {}),
         )
 
+    def _atlas_seeder(self, session: EvaluatorSession):
+        """The session's atlas seed source, or None (no atlas / no spec)."""
+        if self.atlas is None or session.spec is None:
+            return None
+        from repro.atlas import seeder_for
+
+        return seeder_for(
+            self.atlas,
+            session.inner,
+            session.kind,
+            session.spec,
+            session.spec.goal(),
+        )
+
     def _run_search_sync(
         self,
         session: EvaluatorSession,
         config_fields: Dict[str, Any],
         fixed: Dict[str, Any],
     ) -> Dict[str, Any]:
+        result = self._search_result(session, config_fields, fixed)
+        return {
+            "feasible": result.feasible,
+            "best_point": result.best_point,
+            "best_metrics": result.best_metrics,
+            "n_evaluations": result.log.n_evaluations,
+            "regions_explored": result.regions_explored,
+            "atlas_seeds": result.atlas_seeds,
+            "atlas_replayed": result.atlas_replayed,
+            "summary": result.summary(),
+        }
+
+    def _search_result(
+        self,
+        session: EvaluatorSession,
+        config_fields: Dict[str, Any],
+        fixed: Dict[str, Any],
+    ):
         if session.kind == "viterbi":
             from repro.viterbi.metacore import (
                 normalize_viterbi_point,
@@ -583,22 +626,97 @@ class EvaluationService:
                 f"session kind {session.kind!r} does not support search"
             )
         config = SearchConfig(**config_fields)
+        seeder = self._atlas_seeder(session)
         searcher = MetacoreSearch(
             space,
             session.spec.goal(),
             _ServeEvaluatorProxy(self, session),
             config=config,
             normalizer=normalizer,
+            atlas=seeder,
         )
         with get_tracer().span("serve.search", session=session.kind):
             result = searcher.run()
+        if seeder is not None:
+            from repro.atlas import ingest_result
+
+            ingest_result(
+                self.atlas,
+                seeder,
+                result.log.records,
+                session.evaluator.max_fidelity,
+            )
+        return result
+
+    # -- recommendation --------------------------------------------------
+
+    async def submit_recommend(
+        self,
+        session: EvaluatorSession,
+        constraints: Optional[Dict[str, Any]] = None,
+        config_fields: Optional[Dict[str, Any]] = None,
+        fixed: Optional[Dict[str, Any]] = None,
+    ) -> Dict[str, Any]:
+        """Answer a constraint query from the service's design atlas.
+
+        A library hit costs zero evaluations; a miss falls back to a
+        warm-started search on the search executor (sharing the
+        session's evaluator, cache, and micro-batcher) whose log is
+        ingested before the frontier is re-queried.
+        """
+        if not self._running:
+            raise ServiceClosedError("service is not running")
+        if self.atlas is None:
+            raise ConfigurationError(
+                "service has no atlas (start it with atlas_path)"
+            )
+        if session.spec is None:
+            raise ConfigurationError(
+                f"session {session.name!r} has no specification; "
+                "recommendations need a spec-backed session"
+            )
+        self.n_recommends += 1
+        for registry in self._registries():
+            registry.counter("serve.recommends").inc()
+        assert self.loop is not None and self._search_executor is not None
+        return await self.loop.run_in_executor(
+            self._search_executor,
+            self._run_recommend_sync,
+            session,
+            dict(constraints or {}),
+            dict(config_fields or {}),
+            dict(fixed or {}),
+        )
+
+    def _run_recommend_sync(
+        self,
+        session: EvaluatorSession,
+        constraints: Dict[str, Any],
+        config_fields: Dict[str, Any],
+        fixed: Dict[str, Any],
+    ) -> Dict[str, Any]:
+        from repro.atlas import recommend
+
+        with get_tracer().span("serve.recommend", session=session.kind):
+            recommendation = recommend(
+                self.atlas,
+                session.fingerprint,
+                session.spec.goal(),
+                constraints=constraints,
+                fallback=lambda: self._search_result(
+                    session, config_fields, fixed
+                ),
+            )
+        self.metrics.counter(
+            "atlas.hits" if recommendation.source == "atlas" else "atlas.misses"
+        ).inc()
         return {
-            "feasible": result.feasible,
-            "best_point": result.best_point,
-            "best_metrics": result.best_metrics,
-            "n_evaluations": result.log.n_evaluations,
-            "regions_explored": result.regions_explored,
-            "summary": result.summary(),
+            "source": recommendation.source,
+            "point": recommendation.point,
+            "metrics": recommendation.metrics,
+            "n_evaluations": recommendation.n_evaluations,
+            "feasible": recommendation.feasible,
+            "summary": recommendation.summary(),
         }
 
     # -- status ----------------------------------------------------------
@@ -625,6 +743,7 @@ class EvaluationService:
             "timeouts": self.n_timeouts,
             "batches": self.n_batches,
             "searches": self.n_searches,
+            "recommends": self.n_recommends,
             "batch_size": {
                 "count": batch_hist.count,
                 "mean": batch_hist.mean,
@@ -647,4 +766,9 @@ class EvaluationService:
         )
         if self.store is not None:
             info["store"] = self.store.stats()
+        if self.atlas is not None:
+            atlas_info = self.atlas.stats()
+            atlas_info["hits"] = self.metrics.counter("atlas.hits").value
+            atlas_info["misses"] = self.metrics.counter("atlas.misses").value
+            info["atlas"] = atlas_info
         return info

@@ -15,8 +15,9 @@ Bundles the four MetaCore components for the Viterbi driver:
 from __future__ import annotations
 
 import math
+import dataclasses
 from dataclasses import dataclass, field
-from typing import Dict, Optional, Tuple
+from typing import Dict, Optional, Sequence, Tuple
 
 from repro.core.evalcache import PersistentEvalCache
 from repro.core.objectives import BERThresholdCurve, DesignGoal, Objective
@@ -424,16 +425,40 @@ class ViterbiMetaCore:
     max_rounds: Optional[int] = None
     #: Wrap the evaluator in the retry/quarantine shim.
     resilient: bool = False
+    #: Path of the persistent design atlas (None = no library): searches
+    #: warm-start from it and ingest their logs back into it.
+    atlas_path: Optional[str] = None
 
     def design_space(self) -> DesignSpace:
         """The Table-2 space with this MetaCore's fixed parameters."""
         return viterbi_design_space(self.fixed)
 
+    def _open_atlas(self, engine: ViterbiMetacoreEvaluator):
+        """(atlas, seeder) for this scenario, or (None, None)."""
+        if not self.atlas_path:
+            return None, None
+        # Imported lazily: repro.atlas dispatches on the spec types.
+        from repro.atlas import DesignAtlas, seeder_for
+
+        atlas = DesignAtlas(self.atlas_path)
+        seeder = seeder_for(atlas, engine, "viterbi", self.spec, self.spec.goal())
+        return atlas, seeder
+
     def search(self) -> SearchResult:
         """Run the multiresolution search for this specification."""
         if self.checkpoint_path:
             return self.search_session().result
-        evaluator: object = ViterbiMetacoreEvaluator(self.spec)
+        engine = ViterbiMetacoreEvaluator(self.spec)
+        atlas, seeder = self._open_atlas(engine)
+        try:
+            return self._run_search(engine, atlas, seeder)
+        finally:
+            if atlas is not None:
+                atlas.close()
+
+    def _run_search(self, engine, atlas, seeder) -> SearchResult:
+        """One search against an already-open atlas handle (or None)."""
+        evaluator: object = engine
         parallel: Optional[ParallelEvaluator] = None
         store: Optional[PersistentEvalCache] = None
         try:
@@ -449,8 +474,16 @@ class ViterbiMetaCore:
                 config=self.config,
                 normalizer=normalize_viterbi_point,
                 store=store,
+                atlas=seeder,
             )
-            return searcher.run()
+            result = searcher.run()
+            if atlas is not None:
+                from repro.atlas import ingest_result
+
+                ingest_result(
+                    atlas, seeder, result.log.records, engine.max_fidelity
+                )
+            return result
         finally:
             if parallel is not None:
                 parallel.close()
@@ -468,9 +501,11 @@ class ViterbiMetaCore:
 
         if not self.checkpoint_path:
             raise ConfigurationError("search_session requires checkpoint_path")
-        evaluator: object = ViterbiMetacoreEvaluator(self.spec)
+        engine = ViterbiMetacoreEvaluator(self.spec)
+        evaluator: object = engine
         parallel: Optional[ParallelEvaluator] = None
         store: Optional[PersistentEvalCache] = None
+        atlas, seeder = self._open_atlas(engine)
         try:
             if self.workers and self.workers > 1:
                 parallel = ParallelEvaluator(evaluator, workers=self.workers)
@@ -488,13 +523,26 @@ class ViterbiMetaCore:
                 resume=self.resume,
                 max_rounds=self.max_rounds,
                 resilient=self.resilient,
+                atlas=seeder,
             )
-            return session.run()
+            session_result = session.run()
+            if atlas is not None:
+                from repro.atlas import ingest_result
+
+                ingest_result(
+                    atlas,
+                    seeder,
+                    session_result.result.log.records,
+                    engine.max_fidelity,
+                )
+            return session_result
         finally:
             if parallel is not None:
                 parallel.close()
             if store is not None:
                 store.close()
+            if atlas is not None:
+                atlas.close()
 
     def serve(
         self,
@@ -521,6 +569,7 @@ class ViterbiMetaCore:
                 workers=self.workers,
                 cache_path=self.cache_path,
                 resilient=self.resilient,
+                atlas_path=self.atlas_path,
             )
         handle = ServeHandle(
             config, host=host, port=port, unix_path=unix_path
@@ -528,6 +577,61 @@ class ViterbiMetaCore:
         handle.start()
         handle.service.session_for_spec(spec_to_payload(self.spec))
         return handle
+
+    def recommend(self, constraints: Optional[Dict[str, float]] = None):
+        """Answer a constraint query from the design atlas.
+
+        ``constraints`` are extra per-query upper bounds on metrics
+        (e.g. ``{"area_mm2": 40.0}``) tightening the specification's
+        goal.  A stored frontier design covering the query is returned
+        with **zero evaluations**; a library miss falls back to a
+        (warm-started) :meth:`search`, whose log is ingested so the
+        next nearby query hits.  Requires :attr:`atlas_path`; returns a
+        :class:`~repro.atlas.recommend.Recommendation`.
+        """
+        if not self.atlas_path:
+            raise ConfigurationError("recommend requires atlas_path")
+        # Imported lazily: repro.atlas dispatches on the spec types.
+        from repro.atlas import DesignAtlas, recommend, seeder_for
+
+        engine = ViterbiMetacoreEvaluator(self.spec)
+        with DesignAtlas(self.atlas_path) as atlas:
+            seeder = seeder_for(
+                atlas, engine, "viterbi", self.spec, self.spec.goal()
+            )
+            recommendation = recommend(
+                atlas,
+                seeder.fingerprint,
+                self.spec.goal(),
+                constraints=constraints,
+                fallback=self._recommend_fallback(atlas, seeder),
+            )
+        return recommendation
+
+    def _recommend_fallback(self, atlas, seeder):
+        """A warm-started search over the already-open atlas handle."""
+
+        def fallback() -> SearchResult:
+            engine = ViterbiMetacoreEvaluator(self.spec)
+            return self._run_search(engine, atlas, seeder)
+
+        return fallback
+
+    def sweep(
+        self,
+        specs: Sequence[ViterbiSpec],
+        labels: Optional[Sequence[str]] = None,
+    ):
+        """Search a portfolio of specifications into one atlas.
+
+        Each spec runs through a copy of this facade (same fixed
+        parameters, config, workers, cache, atlas); returns a
+        :class:`~repro.atlas.sweep.SweepOutcome`.
+        """
+        from repro.atlas import run_sweep
+
+        metacores = [dataclasses.replace(self, spec=spec) for spec in specs]
+        return run_sweep(metacores, labels=labels)
 
     def build(self, point: Point) -> ViterbiDecoder:
         """Construct the concrete decoder for a design point."""

@@ -151,6 +151,33 @@ def _viterbi_search_selection() -> Dict[str, Any]:
     }
 
 
+def _viterbi_recommend_selection(atlas_path: str) -> Dict[str, Any]:
+    """Populate a fresh atlas with one cold search, then answer a
+    constraint query from it — the frozen vector pins both the chosen
+    design and the zero-evaluation contract of a library hit."""
+    from repro.core import BERThresholdCurve, SearchConfig
+    from repro.viterbi import ViterbiMetaCore, ViterbiSpec
+
+    metacore = ViterbiMetaCore(
+        ViterbiSpec(
+            throughput_bps=1e6,
+            ber_curve=BERThresholdCurve.single(2.0, 1e-2),
+        ),
+        fixed={"G": "standard", "N": 1, "K": 3, "Q": "hard"},
+        config=SearchConfig(max_resolution=1, refine_top_k=1),
+        atlas_path=atlas_path,
+    )
+    metacore.search()
+    recommendation = metacore.recommend({"area_mm2": 50.0})
+    return {
+        "source": recommendation.source,
+        "n_evaluations": recommendation.n_evaluations,
+        "feasible": recommendation.feasible,
+        "point": recommendation.point,
+        "metrics": recommendation.metrics,
+    }
+
+
 # ---------------------------------------------------------------------------
 # IIR pipeline: design -> realize -> quantize -> measure -> synthesize
 # ---------------------------------------------------------------------------
@@ -226,6 +253,13 @@ class TestGoldenViterbi:
     def test_search_selection(self, regen_golden):
         check_golden(
             "viterbi_search", _viterbi_search_selection(), regen_golden
+        )
+
+    def test_recommend_selection(self, regen_golden, tmp_path):
+        check_golden(
+            "viterbi_recommend",
+            _viterbi_recommend_selection(str(tmp_path / "atlas.jsonl")),
+            regen_golden,
         )
 
 

@@ -14,6 +14,9 @@ import pytest
 from hypothesis import assume, given, settings, strategies as st
 
 from repro.core import DesignSpace, DiscreteParameter, Region
+from repro.core.evaluation import EvaluationRecord
+from repro.core.objectives import Direction, Objective
+from repro.core.pareto import dominates, front_sort_key, pareto_front
 from repro.iir.structures import realize
 from repro.iir.transfer import TransferFunction
 from repro.viterbi import (
@@ -344,6 +347,84 @@ class TestStructureProperties:
         for name in ("cascade", "parallel", "ladder", "statespace"):
             rebuilt = realize(name, tf).to_tf().response(omega)
             assert np.max(np.abs(rebuilt - reference)) < 1e-6
+
+
+class TestParetoProperties:
+    """Dominance-relation invariants behind the atlas frontier."""
+
+    OBJECTIVES = [
+        Objective("a", Direction.MINIMIZE),
+        Objective("b", Direction.MAXIMIZE),
+    ]
+
+    METRICS = st.fixed_dictionaries(
+        {
+            "a": st.sampled_from((0.0, 1.0, 2.0, 3.0)),
+            "b": st.sampled_from((0.0, 1.0, 2.0, 3.0)),
+        }
+    )
+
+    @staticmethod
+    def _records(metric_dicts):
+        return [
+            EvaluationRecord(point=(("x", i),), fidelity=1, metrics=m)
+            for i, m in enumerate(metric_dicts)
+        ]
+
+    @given(metrics=METRICS)
+    @settings(max_examples=30, deadline=None)
+    def test_dominance_irreflexive(self, metrics):
+        """No record dominates itself (strict-on-one clause)."""
+        assert not dominates(metrics, metrics, self.OBJECTIVES)
+
+    @given(ma=METRICS, mb=METRICS)
+    @settings(max_examples=60, deadline=None)
+    def test_dominance_antisymmetric(self, ma, mb):
+        assert not (
+            dominates(ma, mb, self.OBJECTIVES)
+            and dominates(mb, ma, self.OBJECTIVES)
+        )
+
+    @given(pool=st.lists(METRICS, min_size=1, max_size=12))
+    @settings(max_examples=60, deadline=None)
+    def test_front_minimal_and_complete(self, pool):
+        """No front member dominates another, and every excluded record
+        is dominated by (or duplicates the point of) a front member."""
+        records = self._records(pool)
+        front = pareto_front(records, self.OBJECTIVES)
+        for record in front:
+            for other in front:
+                if record is not other:
+                    assert not dominates(
+                        record.metrics, other.metrics, self.OBJECTIVES
+                    )
+        front_points = {r.point for r in front}
+        for record in records:
+            if record.point in front_points:
+                continue
+            assert any(
+                dominates(member.metrics, record.metrics, self.OBJECTIVES)
+                for member in front
+            )
+
+    @given(
+        pool=st.lists(METRICS, min_size=1, max_size=12),
+        seed=st.integers(0, 1000),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_front_order_deterministic_under_shuffle(self, pool, seed):
+        """The tie-broken front is identical for any insertion order."""
+        records = self._records(pool)
+        shuffled = records[:]
+        np.random.default_rng(seed).shuffle(shuffled)
+        # Shuffling reorders same-point shadowing, so restrict to pools
+        # with unique points (our strategy guarantees that by design).
+        base = pareto_front(records, self.OBJECTIVES)
+        again = pareto_front(shuffled, self.OBJECTIVES)
+        assert [r.point for r in base] == [r.point for r in again]
+        assert [
+            front_sort_key(r, self.OBJECTIVES) for r in base
+        ] == sorted(front_sort_key(r, self.OBJECTIVES) for r in base)
 
 
 class TestGridProperties:
