@@ -111,6 +111,17 @@ def _tracing(args: argparse.Namespace) -> Iterator[None]:
         print(f"trace written to {trace_path} ({sink.n_records} records)")
 
 
+def _add_kernel_arg(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--kernel",
+        choices=("fused", "reference"),
+        default="fused",
+        help="decode kernel used by Viterbi cost evaluation: the fused "
+        "lookup-table kernels (default) or the step-by-step reference "
+        "loop; results are bit-identical, only wall-clock differs",
+    )
+
+
 def _add_parallel_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--workers",
@@ -244,9 +255,11 @@ def _point_from_args(args: argparse.Namespace) -> dict:
 def cmd_viterbi_ber(args: argparse.Namespace) -> int:
     """Measure the BER curve of one decoder instance."""
     point = _point_from_args(args)
-    decoder = build_decoder(point)
+    decoder = build_decoder(point, kernel=args.kernel)
     encoder = ConvolutionalEncoder(int(point["K"]))
-    simulator = BERSimulator(encoder, seed=args.seed)
+    simulator = BERSimulator(
+        encoder, seed=args.seed, adaptive_batching=args.kernel == "fused"
+    )
     print(f"instance: {describe_point(point)}")
     for es_n0_db in args.snr:
         measurement = simulator.measure(
@@ -273,6 +286,7 @@ def cmd_viterbi_search(args: argparse.Namespace) -> int:
         workers=args.workers,
         cache_path=args.cache,
         atlas_path=args.atlas,
+        kernel=args.kernel,
     )
     with _tracing(args):
         try:
@@ -415,6 +429,7 @@ def cmd_table3(args: argparse.Namespace) -> int:
             ),
             workers=args.workers,
             cache_path=args.cache,
+            kernel=args.kernel,
         )
         return metacore.search()
 
@@ -797,6 +812,7 @@ def build_parser() -> argparse.ArgumentParser:
     ber.add_argument("--bits", type=int, default=100_000)
     ber.add_argument("--errors", type=int, default=100)
     ber.add_argument("--seed", type=int, default=20010618)
+    _add_kernel_arg(ber)
     ber.set_defaults(func=cmd_viterbi_ber)
 
     search = sub.add_parser(
@@ -812,6 +828,7 @@ def build_parser() -> argparse.ArgumentParser:
     search.add_argument("--feature-um", type=float, default=0.25)
     search.add_argument("--max-resolution", type=int, default=2)
     search.add_argument("--top-k", type=int, default=3)
+    _add_kernel_arg(search)
     _add_parallel_args(search)
     _add_checkpoint_args(search)
     _add_atlas_arg(search)
@@ -870,6 +887,7 @@ def build_parser() -> argparse.ArgumentParser:
     table3.add_argument("--es-n0-db", type=float, default=2.0)
     table3.add_argument("--max-resolution", type=int, default=2)
     table3.add_argument("--top-k", type=int, default=3)
+    _add_kernel_arg(table3)
     _add_parallel_args(table3)
     _add_trace_arg(table3)
     table3.set_defaults(func=cmd_table3)
@@ -879,6 +897,9 @@ def build_parser() -> argparse.ArgumentParser:
     )
     table4.add_argument("--max-resolution", type=int, default=3)
     table4.add_argument("--top-k", type=int, default=4)
+    # Accepted for sweep-script symmetry with table3; the IIR machinery
+    # has no decode kernels, so the flag is inert here.
+    _add_kernel_arg(table4)
     _add_parallel_args(table4)
     _add_trace_arg(table4)
     table4.set_defaults(func=cmd_table4)

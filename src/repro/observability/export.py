@@ -261,6 +261,20 @@ def format_trace_report(summary: TraceSummary) -> str:
             f"evaluator time: cpu {cpu_s:.3f}s / wall {wall_s:.3f}s "
             f"({speedup:.2f}x parallel speedup)"
         )
+    kernel_names = sorted(
+        name[len("ber.kernel."):-len(".frames")]
+        for name in summary.metrics
+        if name.startswith("ber.kernel.") and name.endswith(".frames")
+    )
+    for kernel in kernel_names:
+        frames = summary.counter_value(f"ber.kernel.{kernel}.frames")
+        steps = summary.counter_value(f"ber.kernel.{kernel}.steps")
+        decode_s = summary.counter_value(f"ber.kernel.{kernel}.decode_s")
+        steps_per_s = steps / decode_s if decode_s > 0 else 0.0
+        lines.append(
+            f"kernel: {kernel} — {int(frames)} frames decoded in "
+            f"{decode_s:.3f}s ({steps_per_s / 1e3:.1f}k trellis steps/s)"
+        )
     counters = {
         name: snap
         for name, snap in sorted(summary.metrics.items())
@@ -278,6 +292,7 @@ def format_trace_report(summary: TraceSummary) -> str:
             "atlas.warm_seeds",
             "atlas.levels_skipped",
         )
+        and not name.startswith("ber.kernel.")
     }
     if counters:
         lines.append("")

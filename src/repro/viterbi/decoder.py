@@ -21,6 +21,8 @@ from typing import Optional, Tuple
 import numpy as np
 
 from repro.errors import ConfigurationError
+from repro.viterbi import kernels
+from repro.viterbi.kernels import DECODE_KERNELS
 from repro.viterbi.metrics import shared_metric_table
 from repro.viterbi.quantize import Quantizer
 from repro.viterbi.trellis import Trellis
@@ -42,6 +44,13 @@ class ViterbiDecoder:
         ``L`` — the number of trellis steps followed back from the best
         state before a bit is emitted.  The paper searches multiples of
         ``K`` and observes depths beyond ``7K`` stop improving BER.
+    kernel:
+        ``"fused"`` (default) uses the precomputed-lookup kernels of
+        :mod:`repro.viterbi.kernels` whenever no fault hook is attached;
+        ``"reference"`` always runs the step-by-step loop.  Both produce
+        bit-identical outputs — the switch exists for A/B debugging and
+        benchmarking, and deliberately does not appear in
+        :meth:`describe` (same decoder, same results, same seeds).
     """
 
     def __init__(
@@ -49,12 +58,18 @@ class ViterbiDecoder:
         trellis: Trellis,
         quantizer: Quantizer,
         traceback_depth: int,
+        kernel: str = "fused",
     ) -> None:
         if traceback_depth < 1:
             raise ConfigurationError("traceback depth must be at least 1")
+        if kernel not in DECODE_KERNELS:
+            raise ConfigurationError(
+                f"kernel must be one of {DECODE_KERNELS}"
+            )
         self.trellis = trellis
         self.quantizer = quantizer
         self.traceback_depth = int(traceback_depth)
+        self.kernel = kernel
         self.metric_table = shared_metric_table(trellis, quantizer)
         #: Optional fault-injection hook (see :mod:`repro.resilience`).
         #: When set, the decoder routes its branch-metric, path-metric,
@@ -71,6 +86,22 @@ class ViterbiDecoder:
         acc[:, 0] = 0.0
         return acc
 
+    def _fused_available(self) -> bool:
+        """Whether the precomputed lookup tables exist for this code."""
+        return self.metric_table.combo_lut() is not None
+
+    def active_kernel(self) -> str:
+        """The kernel a hook-free decode would take right now.
+
+        ``"fused"`` degrades to ``"reference"`` when the metric table is
+        too large to precompute; an attached *active* fault hook also
+        forces the reference loop, but that is a per-decode condition
+        not reflected here.
+        """
+        if self.kernel == "fused" and self._fused_available():
+            return "fused"
+        return "reference"
+
     def _forward(
         self, received: np.ndarray, sigma: Optional[float]
     ) -> Tuple[np.ndarray, np.ndarray]:
@@ -82,7 +113,30 @@ class ViterbiDecoder:
         predecessor slot (0/1) per state, and ``best`` has shape
         ``(steps, frames)`` holding the state with the smallest
         accumulated error after each step.
+
+        Dispatches to the fused kernel when it is selected, available,
+        and no active fault hook needs the step-by-step loop; the two
+        paths are bit-identical (tested exhaustively), so which one ran
+        is unobservable from the outputs.
         """
+        hook = self.fault_hook
+        if (
+            (hook is None or not getattr(hook, "active", True))
+            and self.kernel == "fused"
+            and self._fused_available()
+        ):
+            return self._forward_fused(received, sigma)
+        return self._forward_reference(received, sigma)
+
+    def _forward_fused(
+        self, received: np.ndarray, sigma: Optional[float]
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        return kernels.fused_forward(self, received, sigma)
+
+    def _forward_reference(
+        self, received: np.ndarray, sigma: Optional[float]
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """The hookable step-by-step loop (ground truth for the kernels)."""
         n_frames, n_steps, _ = received.shape
         levels = self.quantizer.quantize(received, sigma)
         predecessors = self.trellis.predecessors
@@ -123,6 +177,25 @@ class ViterbiDecoder:
         return ((states >> shift) & 1).astype(np.int8)
 
     def _traceback(
+        self, decisions: np.ndarray, best: np.ndarray
+    ) -> np.ndarray:
+        """Dispatch trace-back to the fused or reference implementation.
+
+        Mirrors the :meth:`_forward` dispatch so one decode runs either
+        entirely fused or entirely on the reference path; the two
+        trace-backs walk identical survivor branches and return
+        identical bits.
+        """
+        hook = self.fault_hook
+        if (
+            (hook is None or not getattr(hook, "active", True))
+            and self.kernel == "fused"
+            and self._fused_available()
+        ):
+            return kernels.fused_traceback(self, decisions, best)
+        return self._traceback_reference(decisions, best)
+
+    def _traceback_reference(
         self, decisions: np.ndarray, best: np.ndarray
     ) -> np.ndarray:
         """Sliding trace-back with depth ``L`` over a decoded batch.

@@ -95,25 +95,52 @@ class ConvolutionalEncoder:
         ``bits`` may be 1-D (one message) or 2-D ``(frames, length)``;
         the result appends an axis of size ``n`` holding the channel
         symbols per input bit, i.e. shape ``(..., length, n)``.
+
+        Each output stream is a mod-2 convolution of the input with one
+        generator polynomial, so the whole encode is a handful of
+        shifted XORs over the bit array instead of a per-bit register
+        walk (see :meth:`_encode_stepwise`, the definitional loop this
+        is tested against).
         """
         bits = np.asarray(bits)
         if bits.ndim not in (1, 2):
             raise ConfigurationError("bits must be a 1-D or 2-D array")
         if bits.size and (bits.min() < 0 or bits.max() > 1):
             raise ConfigurationError("bits must be 0/1 valued")
+        if initial_state < 0 or initial_state >= self.n_states:
+            raise ConfigurationError("initial_state out of range")
+        squeeze = bits.ndim == 1
+        frames = bits.reshape(1, -1) if squeeze else bits
+        n_frames, length = frames.shape
+        k = self.constraint_length
+        # Register bit p at time t holds input u[t - (k - 1 - p)];
+        # the k-1 inputs "before" the frame come from initial_state,
+        # whose bit i is u[i - (k - 1)].
+        padded = np.empty((n_frames, k - 1 + length), dtype=np.int8)
+        for i in range(k - 1):
+            padded[:, i] = (initial_state >> i) & 1
+        padded[:, k - 1 :] = frames
+        symbols = np.zeros((n_frames, length, self.n_outputs), dtype=np.int8)
+        for j, poly in enumerate(self.polynomials):
+            for d in range(k):
+                if (poly >> (k - 1 - d)) & 1:
+                    symbols[:, :, j] ^= padded[:, k - 1 - d : k - 1 - d + length]
+        return symbols[0] if squeeze else symbols
+
+    def _encode_stepwise(
+        self, bits: np.ndarray, initial_state: int = 0
+    ) -> np.ndarray:
+        """Definitional per-bit register walk (ground truth for encode)."""
+        bits = np.asarray(bits)
         squeeze = bits.ndim == 1
         frames = bits.reshape(1, -1) if squeeze else bits
         n_frames, length = frames.shape
         state = np.full(n_frames, int(initial_state), dtype=np.int64)
-        if initial_state < 0 or initial_state >= self.n_states:
-            raise ConfigurationError("initial_state out of range")
         symbols = np.empty((n_frames, length, self.n_outputs), dtype=np.int8)
-        frame_idx = np.arange(n_frames)
         for t in range(length):
             bit = frames[:, t].astype(np.int64)
             symbols[:, t, :] = self._outputs[state, bit]
             state = self._next_state[state, bit]
-        del frame_idx
         return symbols[0] if squeeze else symbols
 
     def terminate(self, bits: np.ndarray) -> np.ndarray:

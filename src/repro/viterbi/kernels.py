@@ -1,0 +1,335 @@
+"""Fused trellis-update kernels.
+
+The reference forward passes in :mod:`repro.viterbi.decoder` and
+:mod:`repro.viterbi.multires` are correct and hookable, but they pay a
+fixed Python/numpy-dispatch cost *per trellis step*: a branch-metric
+broadcast, an ``argmin`` plus ``take_along_axis`` pair, and a handful of
+temporaries, every step of every frame batch.  For the small arrays a
+Viterbi batch produces (``frames x states``), that dispatch overhead —
+not arithmetic — dominates cold evaluation time.
+
+This module removes it without changing a single output bit:
+
+- **Precomputed branch metrics.**  The whole received tensor is
+  quantized once, each step's level tuple is folded into one integer
+  (:func:`symbol_indices`), and per-step metrics become a single
+  ``np.take`` from the table built by
+  :meth:`~repro.viterbi.metrics.BranchMetricTable.combo_lut` instead of
+  a broadcast + mask + reduce inside the loop.
+- **Two-way compare-select.**  A radix-2 trellis has exactly two
+  predecessors per state, so ``argmin`` + ``take_along_axis`` over an
+  axis of length 2 collapses to one ``<`` and one ``minimum``.
+  ``np.argmin`` returns the *first* minimal index, which is exactly
+  ``c1 < c0`` — ties select slot 0 in both formulations, keeping the
+  survivor memory bit-identical.
+- **Hoisted buffers.**  Candidate/metric scratch arrays are allocated
+  once and rotated, so the step loop performs no allocations beyond
+  numpy's internal reductions.
+
+The kernels are *drop-in equivalent*: for every input they produce the
+same ``(decisions, best)`` arrays, the same ``_final_metrics``, and
+therefore the same decoded bits as the reference loops.  Decoders use
+them only when no fault-injection hook is attached — the hooked path
+keeps the reference loop so resilience semantics stay untouched — and
+only when the metric tables are small enough to precompute
+(``combo_lut()`` returns ``None`` otherwise).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+#: Kernel names accepted by the decoders, the evaluator, and the CLI.
+DECODE_KERNELS: Tuple[str, ...] = ("fused", "reference")
+
+
+def symbol_indices(levels: np.ndarray, base: int) -> np.ndarray:
+    """Fold quantized level tuples into single lookup-table row indices.
+
+    ``levels`` has shape ``(..., n_symbols)`` with entries in
+    ``[-1, base - 2]`` (``-1`` is the erasure sentinel); the result has
+    shape ``(...)`` with symbol 0 as the most significant digit,
+    matching the row ordering of
+    :meth:`~repro.viterbi.metrics.BranchMetricTable.combo_lut`.
+    """
+    levels = np.asarray(levels)
+    n = levels.shape[-1]
+    index = levels[..., 0] + 1
+    for k in range(1, n):
+        index = index * base + (levels[..., k] + 1)
+    return index
+
+
+def _state_dtype(n_states: int) -> type:
+    """Smallest unsigned dtype that can hold a state index."""
+    if n_states <= 1 << 8:
+        return np.uint8
+    if n_states <= 1 << 16:
+        return np.uint16
+    return np.uint32
+
+
+def fused_forward(
+    decoder, received: np.ndarray, sigma: Optional[float]
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Fused add-compare-select for :class:`ViterbiDecoder`.
+
+    Bit-identical to ``ViterbiDecoder._forward_reference`` with no
+    fault hook attached; the caller guarantees both that and the
+    availability of the combo lookup table.
+    """
+    n_frames, n_steps, _ = received.shape
+    levels = decoder.quantizer.quantize(received, sigma)
+    symbols = symbol_indices(levels, decoder.quantizer.lut_base)
+    lut = decoder.metric_table.combo_lut()
+    n_states = decoder.trellis.n_states
+    # State-major double-width layout: everything in the loop is
+    # (2 * states, frames), with rows [0, S) the slot-0 branches and
+    # [S, 2S) the slot-1 branches.  That turns the per-step predecessor
+    # gather into a row gather (contiguous copies) instead of a column
+    # gather, and halves the gather count versus separate slot tables.
+    # Stored as float64 (metrics are small integers, exactly
+    # representable) so the accumulate below adds without a per-step
+    # int->float conversion pass.
+    lutw = np.ascontiguousarray(
+        np.transpose(lut, (2, 1, 0)).reshape(2 * n_states, lut.shape[0]),
+        dtype=np.float64,
+    )
+    predw = np.ascontiguousarray(decoder.trellis.predecessors.T.reshape(-1))
+
+    acc = np.ascontiguousarray(decoder._initial_metrics(n_frames).T)
+    decisions = np.empty((n_steps, n_states, n_frames), dtype=np.uint8)
+    best = np.empty((n_steps, n_frames), dtype=np.int64)
+    # Survivor table for fused_traceback, built step by step while the
+    # decision bits are still cache-hot: survivors[t, f, s] is the
+    # predecessor the survivor branch into state s came from.  Stored
+    # frame-major so the trace-back walk gathers with a stride-1 state
+    # axis from a step block small enough to stay cache-resident.
+    sdtype = _state_dtype(n_states)
+    survivors = np.empty((n_steps, n_frames, n_states), dtype=sdtype)
+    pred0_row = decoder.trellis.predecessors[:, 0].astype(sdtype)
+    # Slot-1 minus slot-0 predecessor, wrapping in the unsigned dtype;
+    # pred0 + take1 * pdiff wraps back to exactly pred1 when take1 is
+    # set, so the two-ufunc build below equals np.where(take1, p1, p0).
+    pdiff_row = (
+        decoder.trellis.predecessors[:, 1]
+        - decoder.trellis.predecessors[:, 0]
+    ).astype(sdtype)
+
+    # Scratch buffers, allocated once and rotated through the loop.
+    cand = np.empty((2 * n_states, n_frames))
+    c0 = cand[:n_states]
+    c1 = cand[n_states:]
+    metrics = np.empty((2 * n_states, n_frames), dtype=lutw.dtype)
+    nacc = np.empty_like(acc)
+    take1 = np.empty((n_states, n_frames), dtype=bool)
+    rowmin = np.empty((1, n_frames))
+
+    for t in range(n_steps):
+        np.take(lutw, symbols[:, t], axis=1, out=metrics)
+        np.take(acc, predw, axis=0, out=cand)
+        cand += metrics
+        # argmin over the 2-candidate axis == "is slot 1 strictly
+        # smaller"; ties keep slot 0, exactly like np.argmin.
+        np.less(c1, c0, out=take1)
+        decisions[t] = take1
+        surv_t = survivors[t]
+        np.multiply(take1.T, pdiff_row, out=surv_t)
+        surv_t += pred0_row
+        np.minimum(c0, c1, out=nacc)
+        best[t] = nacc.argmin(axis=0)
+        np.min(nacc, axis=0, keepdims=True, out=rowmin)
+        nacc -= rowmin
+        acc, nacc = nacc, acc
+    decoder._final_metrics = np.ascontiguousarray(acc.T)
+    # The rest of the decoder thinks in (steps, frames, states); hand
+    # back a transposed view.  The survivor table is keyed to exactly
+    # this decisions object — fused_traceback reuses it only when
+    # handed the identical array back (and rebuilds otherwise).
+    out = decisions.transpose(0, 2, 1)
+    decoder._fused_survivors = survivors
+    decoder._fused_survivors_key = out
+    return out, best
+
+
+def fused_forward_multires(
+    decoder, received: np.ndarray, sigma: Optional[float]
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Fused forward pass for :class:`MultiresolutionViterbiDecoder`.
+
+    Replicates the reference step ordering operation for operation —
+    low-resolution update, M-state selection via ``argpartition``,
+    high-resolution recomputation with the correction term, merge —
+    with the branch-metric computations replaced by table gathers and
+    the two radix-2 selects replaced by compare-select.  The
+    low-resolution table masks erasures (as
+    :meth:`~repro.viterbi.metrics.BranchMetricTable.compute` does); the
+    high-resolution table does *not* (as ``compute_for_states`` does
+    not), preserving the reference asymmetry on punctured streams.
+    """
+    n_frames, n_steps, _ = received.shape
+    low_levels = decoder.low_quantizer.quantize(received, sigma)
+    high_levels = decoder.high_quantizer.quantize(received, sigma)
+    low_symbols = symbol_indices(low_levels, decoder.low_quantizer.lut_base)
+    high_symbols = symbol_indices(high_levels, decoder.high_quantizer.lut_base)
+    low_lut = decoder.metric_table.combo_lut()
+    high_lut = decoder.high_metric_table.combo_lut(erasure_masked=False)
+    predecessors = decoder.trellis.predecessors
+    n_states = decoder.trellis.n_states
+    # Double-width layout (see fused_forward): slot-0 branches in the
+    # first n_states columns, slot-1 in the rest.  Both tables are
+    # stored as float64 — the values are small integers, so every
+    # downstream comparison, scaling, and mean is value-identical to
+    # the reference's int64 arithmetic while skipping the conversion
+    # passes inside the loop.
+    lutw = np.ascontiguousarray(
+        np.transpose(low_lut, (0, 2, 1)).reshape(low_lut.shape[0], 2 * n_states),
+        dtype=np.float64,
+    )
+    high_lut = high_lut.astype(np.float64)
+    predw = np.ascontiguousarray(predecessors.T.reshape(-1))
+    m = decoder.multires_paths
+    scale_offset = decoder.normalization_method == "scale-offset"
+    corrected = decoder.normalization_method != "none"
+
+    acc = decoder._initial_metrics(n_frames)
+    decisions = np.empty((n_steps, n_frames, n_states), dtype=np.uint8)
+    best = np.empty((n_steps, n_frames), dtype=np.int64)
+    frame_col = np.arange(n_frames)[:, np.newaxis]
+    if m == n_states:
+        # Every state is recomputed: the selection is a constant.
+        all_states = np.broadcast_to(
+            np.arange(n_states), (n_frames, n_states)
+        ).copy()
+
+    cand = np.empty((n_frames, 2 * n_states))
+    c0 = cand[:, :n_states]
+    c1 = cand[:, n_states:]
+    metrics = np.empty((n_frames, 2 * n_states), dtype=lutw.dtype)
+    m0 = metrics[:, :n_states]
+    m1 = metrics[:, n_states:]
+    new_acc = np.empty_like(acc)
+    take1 = np.empty((n_frames, n_states), dtype=bool)
+    rowmin = np.empty((n_frames, 1))
+
+    for t in range(n_steps):
+        # --- low-resolution update of the full trellis ----------------
+        np.take(lutw, low_symbols[:, t], axis=0, out=metrics)
+        np.take(acc, predw, axis=1, out=cand)
+        cand += metrics
+        np.less(c1, c0, out=take1)
+        np.minimum(c0, c1, out=new_acc)
+
+        # --- select the M most promising states -----------------------
+        if m < n_states:
+            chosen = np.argpartition(new_acc, m - 1, axis=1)[:, :m]
+        else:
+            chosen = all_states
+        chosen_acc = np.take_along_axis(new_acc, chosen, axis=1)
+        order = np.argsort(chosen_acc, axis=1)
+
+        # --- high-resolution recomputation ----------------------------
+        high_metrics = high_lut[high_symbols[:, t, np.newaxis], chosen]
+        if scale_offset:
+            high_metrics = high_metrics * decoder._scale
+        if corrected:
+            low_chosen0 = np.take_along_axis(m0, chosen, axis=1)
+            low_chosen1 = np.take_along_axis(m1, chosen, axis=1)
+            correction = decoder._correction(
+                np.minimum(low_chosen0, low_chosen1),
+                high_metrics.min(axis=2),
+                order,
+            )
+            high_metrics = high_metrics - correction[:, :, np.newaxis]
+
+        prev_chosen = predecessors[chosen]  # (frames, m, 2)
+        cand_high = acc[frame_col, prev_chosen.reshape(n_frames, -1)]
+        cand_high = cand_high.reshape(n_frames, m, 2) + high_metrics
+        slot_high = cand_high[:, :, 1] < cand_high[:, :, 0]
+        val_high = np.minimum(cand_high[:, :, 0], cand_high[:, :, 1])
+
+        # --- merge recomputed states back -----------------------------
+        np.put_along_axis(new_acc, chosen, val_high, axis=1)
+        decisions[t] = take1
+        np.put_along_axis(
+            decisions[t], chosen, slot_high.astype(np.uint8), axis=1
+        )
+        best[t] = new_acc.argmin(axis=1)
+        np.min(new_acc, axis=1, keepdims=True, out=rowmin)
+        new_acc -= rowmin
+        acc, new_acc = new_acc, acc
+    decoder._final_metrics = acc
+    return decisions, best
+
+
+def fused_traceback(
+    decoder, decisions: np.ndarray, best: np.ndarray
+) -> np.ndarray:
+    """Flat-indexed sliding trace-back, bit-identical to the reference.
+
+    Walks the same survivor branches as ``ViterbiDecoder._traceback``
+    (bit ``tau`` comes from ``L - 1`` steps back from the best state
+    after step ``tau + L - 1``), but folds decision bits and
+    predecessors into one *survivor table*
+    (``survivors[t, f, s] = predecessors[s, decisions[t, f, s]]``) so
+    every level of the sliding walk is a single flat ``np.take`` on
+    precomputed offsets, with the offset scratch reused across levels.
+    """
+    n_steps, n_frames, n_states = decisions.shape
+    depth = min(decoder.traceback_depth, n_steps)
+    predecessors = decoder.trellis.predecessors
+    shift = max(decoder.trellis.constraint_length - 2, 0)
+    bits = np.empty((n_frames, n_steps), dtype=np.int8)
+
+    n_lead = n_steps - depth + 1
+    if n_lead > 0:
+        # Survivor table: survivors[t, f, s] is the predecessor state
+        # of the survivor branch into s, stored frame-major in the
+        # narrowest dtype that fits.  fused_forward builds it in-loop
+        # and keys it to the decisions object it returned; any other
+        # decisions array (the multiresolution forward, or a direct
+        # _traceback call) gets a one-pass rebuild here.
+        survivors = getattr(decoder, "_fused_survivors", None)
+        if getattr(decoder, "_fused_survivors_key", None) is not decisions:
+            sdtype = _state_dtype(n_states)
+            pred = predecessors.astype(sdtype)
+            survivors = np.where(
+                np.ascontiguousarray(decisions), pred[:, 1], pred[:, 0]
+            )
+        survflat = survivors.reshape(-1)
+        decoder._fused_survivors = None
+        decoder._fused_survivors_key = None
+        step_words = n_frames * n_states
+        itype = (
+            np.int32
+            if n_steps * step_words <= np.iinfo(np.int32).max
+            else np.int64
+        )
+        taus = np.arange(n_lead)
+        states = best[taus + depth - 1].astype(survivors.dtype)  # (lead, F)
+        # Flat word offset of (t, frame, state=0), walked back one
+        # trellis step per level; each level is then a single
+        # offset-add + flat gather.
+        base = (
+            (taus[:, np.newaxis] + depth - 1) * step_words
+            + np.arange(n_frames)[np.newaxis, :] * n_states
+        ).astype(itype)
+        idx = np.empty_like(base)
+        for _ in range(depth - 1):
+            np.add(base, states, out=idx)
+            np.take(survflat, idx, out=states)
+            base -= step_words
+        bits[:, :n_lead] = ((states >> shift) & 1).astype(np.int8).T
+
+    # Final walk for the last depth-1 bits (or all bits when the frame
+    # is shorter than the trace-back depth).
+    frame_idx = np.arange(n_frames)
+    states = best[n_steps - 1]
+    stop = max(n_lead, 0)
+    for tau in range(n_steps - 1, stop - 1, -1):
+        bits[:, tau] = ((states >> shift) & 1).astype(np.int8)
+        slots = decisions[tau, frame_idx, states]
+        states = predecessors[states, slots]
+    return bits

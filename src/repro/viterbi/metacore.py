@@ -35,6 +35,7 @@ from repro.hardware.vliw import ImplementationEstimate, optimize_machine
 from repro.viterbi.ber import BERSimulator, DEFAULT_SEED
 from repro.viterbi.bounds import estimate_ber
 from repro.viterbi.decoder import ViterbiDecoder
+from repro.viterbi.kernels import DECODE_KERNELS
 from repro.viterbi.encoder import ConvolutionalEncoder
 from repro.viterbi.multires import MultiresolutionViterbiDecoder
 from repro.viterbi.polynomials import default_polynomials
@@ -190,8 +191,13 @@ def instance_params(point: Point) -> ViterbiInstanceParams:
     )
 
 
-def build_decoder(point: Point) -> ViterbiDecoder:
-    """Construct the concrete decoder a design point describes."""
+def build_decoder(point: Point, kernel: str = "fused") -> ViterbiDecoder:
+    """Construct the concrete decoder a design point describes.
+
+    ``kernel`` selects the forward-pass implementation (``"fused"`` or
+    ``"reference"``); the two are bit-identical, so the choice never
+    changes results, only wall-clock.
+    """
     point = normalize_viterbi_point(point)
     k = int(point["K"])
     trellis = trellis_for(k, polynomials_for_point(point))
@@ -208,9 +214,10 @@ def build_decoder(point: Point) -> ViterbiDecoder:
             depth,
             multires_paths=int(point["M"]),
             normalization_count=int(point["N"]),
+            kernel=kernel,
         )
     quantizer = HardQuantizer() if r1 == 1 else make_quantizer(method, r1)
-    return ViterbiDecoder(trellis, quantizer, depth)
+    return ViterbiDecoder(trellis, quantizer, depth, kernel=kernel)
 
 
 def describe_point(point: Point) -> str:
@@ -262,10 +269,23 @@ class ViterbiMetacoreEvaluator:
     paper's "more accurate simulation results (longer run times)" on
     finer grids).  Area/throughput always go through the machine model,
     which is cheap and deterministic.
+
+    ``kernel`` selects the decode implementation: ``"fused"`` (default)
+    builds fused-kernel decoders and lets the simulators group frame
+    batches adaptively; ``"reference"`` reproduces the pre-kernel
+    behavior exactly (step-by-step loop, batch-at-a-time simulation).
+    Metrics are bit-identical either way, which is why the kernel does
+    **not** appear in :meth:`fingerprint` — cached evaluations remain
+    valid across the switch.
     """
 
-    def __init__(self, spec: ViterbiSpec) -> None:
+    def __init__(self, spec: ViterbiSpec, kernel: str = "fused") -> None:
+        if kernel not in DECODE_KERNELS:
+            raise ConfigurationError(
+                f"kernel must be one of {DECODE_KERNELS}"
+            )
         self.spec = spec
+        self.kernel = kernel
         self.max_fidelity = len(FIDELITY_BUDGETS) - 1
         self._simulators: Dict[Tuple[int, Tuple[int, ...]], BERSimulator] = {}
 
@@ -301,7 +321,9 @@ class ViterbiMetacoreEvaluator:
         key = (k, polys)
         if key not in self._simulators:
             self._simulators[key] = BERSimulator(
-                ConvolutionalEncoder(k, polys), seed=self.spec.seed
+                ConvolutionalEncoder(k, polys),
+                seed=self.spec.seed,
+                adaptive_batching=self.kernel == "fused",
             )
         return self._simulators[key]
 
@@ -333,7 +355,7 @@ class ViterbiMetacoreEvaluator:
                 errors = bits = None
             else:
                 if decoder is None:
-                    decoder = build_decoder(point)
+                    decoder = build_decoder(point, kernel=self.kernel)
                 max_bits, target_errors = FIDELITY_BUDGETS[fidelity]
                 if fidelity == self.max_fidelity:
                     # Resolve the threshold: enough bits to expect a
@@ -428,6 +450,9 @@ class ViterbiMetaCore:
     #: Path of the persistent design atlas (None = no library): searches
     #: warm-start from it and ingest their logs back into it.
     atlas_path: Optional[str] = None
+    #: Decode kernel for cost evaluation ("fused" or "reference");
+    #: results are bit-identical, only wall-clock differs.
+    kernel: str = "fused"
 
     def design_space(self) -> DesignSpace:
         """The Table-2 space with this MetaCore's fixed parameters."""
@@ -448,7 +473,7 @@ class ViterbiMetaCore:
         """Run the multiresolution search for this specification."""
         if self.checkpoint_path:
             return self.search_session().result
-        engine = ViterbiMetacoreEvaluator(self.spec)
+        engine = ViterbiMetacoreEvaluator(self.spec, kernel=self.kernel)
         atlas, seeder = self._open_atlas(engine)
         try:
             return self._run_search(engine, atlas, seeder)
@@ -501,7 +526,7 @@ class ViterbiMetaCore:
 
         if not self.checkpoint_path:
             raise ConfigurationError("search_session requires checkpoint_path")
-        engine = ViterbiMetacoreEvaluator(self.spec)
+        engine = ViterbiMetacoreEvaluator(self.spec, kernel=self.kernel)
         evaluator: object = engine
         parallel: Optional[ParallelEvaluator] = None
         store: Optional[PersistentEvalCache] = None
@@ -594,7 +619,7 @@ class ViterbiMetaCore:
         # Imported lazily: repro.atlas dispatches on the spec types.
         from repro.atlas import DesignAtlas, recommend, seeder_for
 
-        engine = ViterbiMetacoreEvaluator(self.spec)
+        engine = ViterbiMetacoreEvaluator(self.spec, kernel=self.kernel)
         with DesignAtlas(self.atlas_path) as atlas:
             seeder = seeder_for(
                 atlas, engine, "viterbi", self.spec, self.spec.goal()
@@ -612,7 +637,7 @@ class ViterbiMetaCore:
         """A warm-started search over the already-open atlas handle."""
 
         def fallback() -> SearchResult:
-            engine = ViterbiMetacoreEvaluator(self.spec)
+            engine = ViterbiMetacoreEvaluator(self.spec, kernel=self.kernel)
             return self._run_search(engine, atlas, seeder)
 
         return fallback
@@ -635,4 +660,4 @@ class ViterbiMetaCore:
 
     def build(self, point: Point) -> ViterbiDecoder:
         """Construct the concrete decoder for a design point."""
-        return build_decoder(point)
+        return build_decoder(point, kernel=self.kernel)

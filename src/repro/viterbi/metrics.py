@@ -13,12 +13,22 @@ decoding.
 from __future__ import annotations
 
 import threading
-from typing import Dict, Tuple
+from typing import Dict, Optional, Tuple
 
 import numpy as np
 
 from repro.viterbi.quantize import Quantizer
 from repro.viterbi.trellis import Trellis
+
+#: Upper bound on precomputed branch-metric lookup entries
+#: (``level combos x states x 2``); tables beyond it (exotic
+#: high-resolution / high-rate codes) fall back to per-step metric
+#: computation instead of risking a multi-hundred-MB allocation.
+MAX_COMBO_LUT_ENTRIES = 1 << 22
+
+#: Level-combination rows built per slab while filling a lookup table,
+#: bounding the transient ``(rows, states, 2, n_symbols)`` workspace.
+_COMBO_LUT_SLAB = 1 << 16
 
 
 class BranchMetricTable:
@@ -41,6 +51,9 @@ class BranchMetricTable:
         self.ideal_levels = quantizer.max_level * (1 - bits)
         #: Largest possible metric for a single branch.
         self.max_branch_metric = quantizer.max_level * trellis.n_symbols
+        # Lazily built combo lookup tables, keyed by erasure handling
+        # (see combo_lut).  Shared tables share their LUTs.
+        self._combo_luts: Dict[bool, Optional[np.ndarray]] = {}
 
     def compute(self, levels: np.ndarray) -> np.ndarray:
         """Branch metrics for a batch of received symbol tuples.
@@ -75,6 +88,57 @@ class BranchMetricTable:
         ideal = self.ideal_levels[states]  # (frames, m, 2, n)
         diff = np.abs(levels[:, np.newaxis, np.newaxis, :] - ideal)
         return diff.sum(axis=-1)
+
+    def combo_lut(self, erasure_masked: bool = True) -> Optional[np.ndarray]:
+        """Branch metrics for *every* possible received symbol tuple.
+
+        The fused decode kernels (:mod:`repro.viterbi.kernels`) replace
+        the per-trellis-step call to :meth:`compute` with one gather
+        from this table.  Row ``i`` holds the ``(n_states, 2)`` metrics
+        of the level tuple whose mixed-radix index is ``i`` in base
+        ``quantizer.lut_base`` (symbol 0 is the most significant digit;
+        digit 0 is the erasure sentinel, digit ``d`` is level ``d - 1``).
+
+        ``erasure_masked=True`` reproduces :meth:`compute` exactly
+        (erased symbols contribute nothing); ``erasure_masked=False``
+        reproduces :meth:`compute_for_states`, which takes the raw
+        absolute distance — the two must stay distinct so the fused
+        multiresolution kernel is bit-identical to the reference loop.
+
+        Returns ``None`` (and the caller falls back to the reference
+        loop) when the table would exceed
+        :data:`MAX_COMBO_LUT_ENTRIES`.  The result is cached on the
+        table, so shared tables build each variant once.
+        """
+        key = bool(erasure_masked)
+        cached = self._combo_luts.get(key, False)
+        if cached is not False:
+            return cached
+        base = self.quantizer.lut_base
+        n = self.trellis.n_symbols
+        combos = base**n
+        if combos * self.trellis.n_states * 2 > MAX_COMBO_LUT_ENTRIES:
+            self._combo_luts[key] = None
+            return None
+        lut = np.empty(
+            (combos, self.trellis.n_states, 2), dtype=np.int64
+        )
+        for start in range(0, combos, _COMBO_LUT_SLAB):
+            stop = min(start + _COMBO_LUT_SLAB, combos)
+            index = np.arange(start, stop, dtype=np.int64)
+            levels = np.empty((stop - start, n), dtype=np.int64)
+            for k in range(n - 1, -1, -1):
+                levels[:, k] = index % base - 1
+                index = index // base
+            if erasure_masked:
+                lut[start:stop] = self.compute(levels)
+            else:
+                diff = np.abs(
+                    levels[:, np.newaxis, np.newaxis, :] - self.ideal_levels
+                )
+                lut[start:stop] = diff.sum(axis=-1)
+        self._combo_luts[key] = lut
+        return lut
 
 
 _TABLE_CACHE: Dict[Tuple, BranchMetricTable] = {}

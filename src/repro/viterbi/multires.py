@@ -25,6 +25,7 @@ from typing import Optional, Tuple
 import numpy as np
 
 from repro.errors import ConfigurationError
+from repro.viterbi import kernels
 from repro.viterbi.decoder import ViterbiDecoder
 from repro.viterbi.metrics import shared_metric_table
 from repro.viterbi.quantize import Quantizer
@@ -59,6 +60,9 @@ class MultiresolutionViterbiDecoder(ViterbiDecoder):
         correction), ``"offset"`` (the difference-of-best correction
         alone), or ``"none"`` (ablation; demonstrably catastrophic,
         which is why the paper insists on the correction term).
+    kernel:
+        ``"fused"`` or ``"reference"``, as in :class:`ViterbiDecoder`;
+        both produce bit-identical outputs.
     """
 
     def __init__(
@@ -70,8 +74,9 @@ class MultiresolutionViterbiDecoder(ViterbiDecoder):
         multires_paths: int,
         normalization_count: int = 1,
         normalization_method: str = "scale-offset",
+        kernel: str = "fused",
     ) -> None:
-        super().__init__(trellis, low_quantizer, traceback_depth)
+        super().__init__(trellis, low_quantizer, traceback_depth, kernel=kernel)
         if high_quantizer.bits <= low_quantizer.bits:
             raise ConfigurationError(
                 "high-resolution quantizer must use more bits than the "
@@ -122,7 +127,20 @@ class MultiresolutionViterbiDecoder(ViterbiDecoder):
         high_sel = take(high_best, order[:, :n], axis=1)
         return (high_sel - low_sel).mean(axis=1, keepdims=True)
 
-    def _forward(
+    def _fused_available(self) -> bool:
+        """Both resolutions need their lookup tables precomputed."""
+        return (
+            self.metric_table.combo_lut() is not None
+            and self.high_metric_table.combo_lut(erasure_masked=False)
+            is not None
+        )
+
+    def _forward_fused(
+        self, received: np.ndarray, sigma: Optional[float]
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        return kernels.fused_forward_multires(self, received, sigma)
+
+    def _forward_reference(
         self, received: np.ndarray, sigma: Optional[float]
     ) -> Tuple[np.ndarray, np.ndarray]:
         n_frames, n_steps, _ = received.shape
@@ -135,6 +153,11 @@ class MultiresolutionViterbiDecoder(ViterbiDecoder):
         decisions = np.empty((n_steps, n_frames, n_states), dtype=np.uint8)
         best = np.empty((n_steps, n_frames), dtype=np.int64)
         frame_col = np.arange(n_frames)[:, np.newaxis]
+        if m == n_states:
+            # Every state is recomputed: the selection is a constant.
+            all_states = np.broadcast_to(
+                np.arange(n_states), (n_frames, n_states)
+            ).copy()
         hook = self.fault_hook
         if hook is not None and not getattr(hook, "active", True):
             hook = None  # inert injector: skip the per-step calls entirely
@@ -144,18 +167,16 @@ class MultiresolutionViterbiDecoder(ViterbiDecoder):
             if hook is not None:
                 low_metrics = hook.on_branch_metrics(low_metrics)
             candidates = acc[:, predecessors] + low_metrics
-            slots = np.argmin(candidates, axis=2).astype(np.uint8)
+            slots = np.argmin(candidates, axis=2)
             new_acc = np.take_along_axis(
-                candidates, slots[:, :, np.newaxis].astype(np.int64), axis=2
+                candidates, slots[:, :, np.newaxis], axis=2
             )[:, :, 0]
 
             # --- select the M most promising states -------------------
             if m < n_states:
                 chosen = np.argpartition(new_acc, m - 1, axis=1)[:, :m]
             else:
-                chosen = np.broadcast_to(
-                    np.arange(n_states), (n_frames, n_states)
-                ).copy()
+                chosen = all_states
             # Rank the chosen states so the correction can use the N best.
             chosen_acc = np.take_along_axis(new_acc, chosen, axis=1)
             order = np.argsort(chosen_acc, axis=1)
@@ -189,7 +210,7 @@ class MultiresolutionViterbiDecoder(ViterbiDecoder):
 
             # --- merge recomputed states back --------------------------
             np.put_along_axis(new_acc, chosen, val_high, axis=1)
-            slots_merged = slots.copy()
+            slots_merged = slots.astype(np.uint8)
             np.put_along_axis(
                 slots_merged, chosen, slot_high.astype(np.uint8), axis=1
             )

@@ -59,6 +59,18 @@ class Quantizer(ABC):
     def decision_level(self, sigma: Optional[float]) -> float:
         """The level spacing ``D`` used for the given channel noise."""
 
+    @property
+    def lut_base(self) -> int:
+        """Radix of the per-symbol index used by the fused decode kernels.
+
+        One slot per quantized level plus one for the erasure sentinel
+        (:data:`ERASURE_LEVEL`), so a received symbol tuple maps to a
+        unique integer in ``[0, lut_base**n_symbols)`` — the row index
+        of the precomputed branch-metric lookup table (see
+        :meth:`repro.viterbi.metrics.BranchMetricTable.combo_lut`).
+        """
+        return self.n_levels + 1
+
     def cache_key(self) -> Optional[Tuple]:
         """A hashable spec identifying this quantizer's exact behavior.
 

@@ -124,3 +124,38 @@ class TestEncoder:
 
     def test_repr_mentions_octal(self, encoder_k5):
         assert "35,23" in repr(encoder_k5)
+
+
+class TestEncodeMatchesStepwise:
+    """The shifted-XOR encode against its definitional register walk."""
+
+    @given(
+        k=st.integers(3, 9),
+        length=st.integers(1, 96),
+        n_frames=st.integers(0, 4),
+        state_pick=st.integers(0, 3),
+        rate_inverse=st.sampled_from([2, 3]),
+        seed=st.integers(0, 2**31),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_differential(
+        self, k, length, n_frames, state_pick, rate_inverse, seed
+    ):
+        try:
+            polys = default_polynomials(k, rate_inverse=rate_inverse)
+        except ConfigurationError:
+            return
+        encoder = ConvolutionalEncoder(k, polys)
+        # Cover both corners and arbitrary interior initial states.
+        initial_state = [0, 1, encoder.n_states - 1, seed % encoder.n_states][
+            state_pick
+        ]
+        rng = np.random.default_rng(seed)
+        if n_frames == 0:  # 1-D single-message form
+            bits = rng.integers(0, 2, size=length, dtype=np.int8)
+        else:
+            bits = rng.integers(0, 2, size=(n_frames, length), dtype=np.int8)
+        fast = encoder.encode(bits, initial_state=initial_state)
+        slow = encoder._encode_stepwise(bits, initial_state=initial_state)
+        assert fast.dtype == slow.dtype
+        assert np.array_equal(fast, slow)
