@@ -10,6 +10,7 @@ are answered without evaluation when the library covers them
 library in one pass (:mod:`repro.atlas.sweep`).
 """
 
+from repro.atlas.compact import compact_atlas, format_compact_report
 from repro.atlas.frontier import ParetoFrontier, frontier_objectives
 from repro.atlas.recommend import Recommendation, query_frontier, recommend
 from repro.atlas.similarity import (
@@ -32,7 +33,9 @@ __all__ = [
     "ParetoFrontier",
     "Recommendation",
     "SweepOutcome",
+    "compact_atlas",
     "format_atlas_report",
+    "format_compact_report",
     "frontier_objectives",
     "goal_signature",
     "ingest_result",

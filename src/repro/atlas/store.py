@@ -15,6 +15,18 @@ written via tmp-file + ``os.replace``) summarizing per-scenario counts
 for cheap inspection; the JSONL file remains the source of truth.
 Corrupt lines are skipped and counted (``n_skipped``) with a single
 warning per load, mirroring the evaluation cache.
+
+**Shared across processes.**  A cluster's replicas point at one atlas
+file, so the store is multi-writer safe: every append takes an
+exclusive advisory lock (``flock``; no-op where unavailable) for the
+open-merge-write-close cycle, and every read first merges the *tail* —
+lines other writers appended since this process last looked — tracked
+by byte offset.  Appends are therefore serialized whole lines; readers
+take a shared lock and never observe a torn record.  Merging is
+idempotent (max-fidelity-wins dedup, first scenario descriptor wins),
+so two nodes ingesting the same search converge to one state.  A file
+*rewrite* (``atlas-compact``) is detected by inode/size change and
+triggers a from-scratch re-merge rather than a misaligned tail read.
 """
 
 from __future__ import annotations
@@ -25,6 +37,11 @@ import threading
 import warnings
 from pathlib import Path
 from typing import Any, Dict, Iterable, List, Mapping, Optional, Tuple, Union
+
+try:  # advisory locking is POSIX-only; elsewhere appends are best-effort
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX platforms
+    fcntl = None  # type: ignore[assignment]
 
 from repro.atlas.frontier import ParetoFrontier, frontier_objectives
 from repro.atlas.similarity import goal_signature, scenario_distance
@@ -80,50 +97,148 @@ class DesignAtlas:
         self.path = Path(path)
         self._lock = threading.Lock()
         self._scenarios: Dict[str, _Scenario] = {}
-        self._file = None
         self.n_loaded = 0
+        #: Raw record lines consumed from the log, including entries a
+        #: later higher-fidelity append superseded — the on-disk count
+        #: compaction reports against the deduped in-memory view.
+        self.n_record_lines = 0
         #: Corrupt (undecodable / malformed) lines skipped at load time.
         #: Schema-version mismatches are *not* corruption and stay silent.
         self.n_skipped = 0
         self._warned = False
-        self._load()
+        #: How far into the JSONL file this process has merged (bytes),
+        #: plus the inode it belongs to — a changed inode or a shrunken
+        #: file means the atlas was rewritten underneath us.
+        self._read_offset = 0
+        self._read_ino: Optional[int] = None
+        self._line_no = 0
+        with self._lock:
+            self._refresh_locked()
+
+    # -- file locking ----------------------------------------------------
+
+    @staticmethod
+    def _lock_file(handle, exclusive: bool) -> None:
+        if fcntl is not None:
+            fcntl.flock(
+                handle.fileno(),
+                fcntl.LOCK_EX if exclusive else fcntl.LOCK_SH,
+            )
+
+    @staticmethod
+    def _unlock_file(handle) -> None:
+        if fcntl is not None:
+            fcntl.flock(handle.fileno(), fcntl.LOCK_UN)
+
+    def _open_locked(self, mode: str, exclusive: bool):
+        """Open + lock the atlas file, retrying across rewrites.
+
+        A compaction replaces the file while a writer waits on the
+        lock; appending to the now-orphaned inode would lose records,
+        so after acquiring the lock we verify the fd still names the
+        path and reopen if not.
+        """
+        while True:
+            handle = self.path.open(mode)
+            try:
+                self._lock_file(handle, exclusive)
+                try:
+                    if (
+                        os.fstat(handle.fileno()).st_ino
+                        == os.stat(self.path).st_ino
+                    ):
+                        return handle
+                except OSError:
+                    pass  # path vanished mid-swap; reopen recreates it
+                self._unlock_file(handle)
+            except BaseException:
+                handle.close()
+                raise
+            handle.close()
 
     # -- loading ---------------------------------------------------------
 
-    def _load(self) -> None:
-        if not self.path.exists():
-            return
-        with self.path.open("r", encoding="utf-8") as handle:
-            for line_no, line in enumerate(handle, start=1):
-                line = line.strip()
-                if not line:
-                    continue
-                try:
-                    entry = json.loads(line)
-                except json.JSONDecodeError:
-                    self._skip(line_no, "undecodable JSON")
-                    continue
-                if not isinstance(entry, dict):
-                    self._skip(line_no, "not a JSON object")
-                    continue
-                if entry.get("schema") != ATLAS_SCHEMA_VERSION:
-                    continue  # orphaned by a schema bump, by design
-                kind = entry.get("type")
-                try:
-                    if kind == "scenario":
-                        self._load_scenario(entry)
-                    elif kind == "record":
-                        self._load_record(entry)
-                    else:
-                        self._skip(line_no, f"unknown line type {kind!r}")
-                except (KeyError, TypeError, ValueError):
-                    self._skip(line_no, "malformed record")
+    def _refresh_locked(self) -> int:
+        """Merge lines appended (by anyone) since the last read.
+
+        Returns the number of lines consumed.  Caller holds ``_lock``.
+        """
+        try:
+            handle = self._open_locked("rb", exclusive=False)
+        except FileNotFoundError:
+            return 0
+        try:
+            stat = os.fstat(handle.fileno())
+            if stat.st_ino != self._read_ino or stat.st_size < self._read_offset:
+                # Rewritten (compacted) underneath us: re-merge it all.
+                # Idempotent, so existing in-memory state is kept.
+                self._read_offset = 0
+                self._line_no = 0
+                self._read_ino = stat.st_ino
+                self.n_record_lines = 0
+            if stat.st_size <= self._read_offset:
+                return 0
+            return self._consume(handle)
+        finally:
+            self._unlock_file(handle)
+            handle.close()
+
+    def _consume(self, handle) -> int:
+        """Parse lines from ``_read_offset`` to EOF; advance the offset.
+
+        A final line without a newline is a torn concurrent append (or
+        a crashed writer's remnant): it is left unconsumed so the next
+        refresh re-reads it once complete.
+        """
+        handle.seek(self._read_offset)
+        consumed = 0
+        for raw in handle:
+            if not raw.endswith(b"\n"):
+                break  # torn tail; re-read once whole
+            self._read_offset += len(raw)
+            self._line_no += 1
+            consumed += 1
+            line = raw.decode("utf-8", errors="replace").strip()
+            if not line:
+                continue
+            try:
+                entry = json.loads(line)
+            except json.JSONDecodeError:
+                self._skip(self._line_no, "undecodable JSON")
+                continue
+            if not isinstance(entry, dict):
+                self._skip(self._line_no, "not a JSON object")
+                continue
+            if entry.get("schema") != ATLAS_SCHEMA_VERSION:
+                continue  # orphaned by a schema bump, by design
+            kind = entry.get("type")
+            try:
+                if kind == "scenario":
+                    self._load_scenario(entry)
+                elif kind == "record":
+                    self._load_record(entry)
+                    self.n_record_lines += 1
+                else:
+                    self._skip(self._line_no, f"unknown line type {kind!r}")
+            except (KeyError, TypeError, ValueError):
+                self._skip(self._line_no, "malformed record")
         self.n_loaded = sum(
             len(scenario.records) for scenario in self._scenarios.values()
         )
+        return consumed
+
+    def refresh(self) -> int:
+        """Pull in other writers' appends; returns lines merged."""
+        with self._lock:
+            return self._refresh_locked()
 
     def _load_scenario(self, entry: Mapping[str, Any]) -> None:
         fingerprint = str(entry["fp"])
+        if fingerprint in self._scenarios:
+            # A concurrent writer registered the same fingerprint; the
+            # fingerprint covers everything behavior-relevant, so keep
+            # the existing scenario (and its already-merged records).
+            return
         raw_features = entry["features"]
         features = (
             {str(k): float(v) for k, v in raw_features.items()}
@@ -167,12 +282,45 @@ class DesignAtlas:
 
     # -- writing ---------------------------------------------------------
 
+    def _append_entries(self, entries: List[Dict[str, Any]]) -> None:
+        """Append whole lines under an exclusive advisory lock.
+
+        Merges the foreign tail first so this process's view includes
+        everything already on disk, then writes and advances the read
+        offset past its own lines (they are already in memory).
+        Caller holds ``_lock``.
+        """
+        if not entries:
+            return
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        handle = self._open_locked("a+b", exclusive=True)
+        try:
+            stat = os.fstat(handle.fileno())
+            if (
+                stat.st_ino != self._read_ino
+                or stat.st_size < self._read_offset
+            ):
+                self._read_offset = 0
+                self._line_no = 0
+                self._read_ino = stat.st_ino
+                self.n_record_lines = 0
+            self._consume(handle)
+            handle.seek(0, os.SEEK_END)
+            payload = b"".join(
+                json.dumps(entry, separators=(",", ":")).encode("utf-8")
+                + b"\n"
+                for entry in entries
+            )
+            handle.write(payload)
+            handle.flush()
+            self._read_offset = handle.tell()
+            self._line_no += len(entries)
+        finally:
+            self._unlock_file(handle)
+            handle.close()
+
     def _append(self, entry: Dict[str, Any]) -> None:
-        if self._file is None:
-            self.path.parent.mkdir(parents=True, exist_ok=True)
-            self._file = self.path.open("a", encoding="utf-8")
-        self._file.write(json.dumps(entry, separators=(",", ":")) + "\n")
-        self._file.flush()
+        self._append_entries([entry])
 
     def register_scenario(
         self,
@@ -233,6 +381,7 @@ class DesignAtlas:
         ingested = 0
         with self._lock:
             scenario = self._scenarios[fingerprint]
+            entries: List[Dict[str, Any]] = []
             for record in records:
                 key = tuple((str(k), v) for k, v in record.point)
                 metrics = {
@@ -242,7 +391,7 @@ class DesignAtlas:
                 if not scenario.offer(key, record.fidelity, metrics, exact):
                     continue
                 ingested += 1
-                self._append(
+                entries.append(
                     {
                         "schema": ATLAS_SCHEMA_VERSION,
                         "type": "record",
@@ -253,6 +402,7 @@ class DesignAtlas:
                         "exact": exact,
                     }
                 )
+            self._append_entries(entries)
             frontier_size = len(scenario.frontier)
         return {"ingested": ingested, "frontier": frontier_size}
 
@@ -261,6 +411,7 @@ class DesignAtlas:
     def replay(self, fingerprint: str) -> List[EvaluationRecord]:
         """Every stored record of one scenario (all fidelities)."""
         with self._lock:
+            self._refresh_locked()
             scenario = self._scenarios.get(fingerprint)
             if scenario is None:
                 return []
@@ -272,6 +423,7 @@ class DesignAtlas:
     def frontier(self, fingerprint: str) -> Tuple[EvaluationRecord, ...]:
         """The exact-fidelity Pareto frontier of one scenario."""
         with self._lock:
+            self._refresh_locked()
             scenario = self._scenarios.get(fingerprint)
             if scenario is None:
                 return ()
@@ -279,6 +431,7 @@ class DesignAtlas:
 
     def scenario_info(self, fingerprint: str) -> Optional[Dict[str, Any]]:
         with self._lock:
+            self._refresh_locked()
             scenario = self._scenarios.get(fingerprint)
             if scenario is None:
                 return None
@@ -307,6 +460,7 @@ class DesignAtlas:
         """
         out: List[Tuple[str, float]] = []
         with self._lock:
+            self._refresh_locked()
             for fingerprint, scenario in self._scenarios.items():
                 if scenario.kind != kind or scenario.signature != signature:
                     continue
@@ -320,11 +474,13 @@ class DesignAtlas:
 
     def fingerprints(self) -> List[str]:
         with self._lock:
+            self._refresh_locked()
             return sorted(self._scenarios)
 
     def stats(self) -> Dict[str, Any]:
         """Plain-dict accounting (for status endpoints/reports)."""
         with self._lock:
+            self._refresh_locked()
             return {
                 "path": str(self.path),
                 "scenarios": len(self._scenarios),
@@ -364,11 +520,65 @@ class DesignAtlas:
             handle.write("\n")
         os.replace(tmp, self.index_path)
 
+    def dump_entries(
+        self, frontier_only: bool = False, refresh: bool = True
+    ) -> List[Dict[str, Any]]:
+        """The canonical deduped entry stream (for ``atlas-compact``).
+
+        One scenario line per fingerprint followed by its records —
+        max-fidelity survivors only, in a deterministic order.  With
+        ``frontier_only``, only the exact-fidelity Pareto frontier of
+        each scenario is kept (replay history is dropped).  Pass
+        ``refresh=False`` when the caller already holds the file lock
+        (a shared-lock refresh would self-deadlock against it).
+        """
+        with self._lock:
+            if refresh:
+                self._refresh_locked()
+            entries: List[Dict[str, Any]] = []
+            for fingerprint in sorted(self._scenarios):
+                scenario = self._scenarios[fingerprint]
+                entries.append(
+                    {
+                        "schema": ATLAS_SCHEMA_VERSION,
+                        "type": "scenario",
+                        "fp": fingerprint,
+                        "kind": scenario.kind,
+                        "features": scenario.features,
+                        "goal": scenario.signature,
+                        "axes": [
+                            [objective.metric, objective.direction.value]
+                            for objective in scenario.axes
+                        ],
+                    }
+                )
+                if frontier_only:
+                    rows = [
+                        (
+                            tuple((str(k), v) for k, v in record.point),
+                            (record.fidelity, dict(record.metrics), True),
+                        )
+                        for record in scenario.frontier.records
+                    ]
+                else:
+                    rows = list(scenario.records.items())
+                rows.sort(key=lambda item: json.dumps(list(item[0])))
+                for key, (fidelity, metrics, exact) in rows:
+                    entries.append(
+                        {
+                            "schema": ATLAS_SCHEMA_VERSION,
+                            "type": "record",
+                            "fp": fingerprint,
+                            "point": [[k, v] for k, v in key],
+                            "fid": fidelity,
+                            "metrics": metrics,
+                            "exact": exact,
+                        }
+                    )
+            return entries
+
     def close(self) -> None:
         with self._lock:
-            if self._file is not None:
-                self._file.close()
-                self._file = None
             if self._scenarios:
                 self._write_index()
 

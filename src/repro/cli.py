@@ -661,6 +661,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
         cache_path=args.cache,
         resilient=args.resilient,
         atlas_path=args.atlas,
+        node_id=args.node_id,
     )
 
     def on_ready(server) -> None:
@@ -717,12 +718,33 @@ def _client_point(args: argparse.Namespace) -> dict:
     }
 
 
+def _router_address(value: str):
+    """Parse a ``HOST:PORT`` / ``unix:PATH`` address flag."""
+    if value.startswith("unix:"):
+        return None, None, value[len("unix:"):]
+    host, sep, port_s = value.rpartition(":")
+    if not sep or not host:
+        raise ConfigurationError(
+            f"address {value!r} is not HOST:PORT or unix:PATH"
+        )
+    try:
+        port = int(port_s)
+    except ValueError:
+        raise ConfigurationError(
+            f"address {value!r} has a non-numeric port"
+        ) from None
+    return host, port, None
+
+
 def _client_connect(args: argparse.Namespace):
     from repro.serve import ServeClient
 
-    return ServeClient(
-        host=args.host, port=args.port, unix_path=args.unix
-    )
+    host, port, unix_path = args.host, args.port, args.unix
+    router = getattr(args, "router", None)
+    if router:
+        host, port, unix_path = _router_address(router)
+        host = host or "127.0.0.1"
+    return ServeClient(host=host, port=port, unix_path=unix_path)
 
 
 def cmd_client(args: argparse.Namespace) -> int:
@@ -737,6 +759,10 @@ def cmd_client(args: argparse.Namespace) -> int:
             if args.client_command == "shutdown":
                 client.shutdown()
                 print("server stopping")
+                return 0
+            if args.client_command == "drain":
+                result = client.drain()
+                print(json.dumps(result, indent=2, sort_keys=True))
                 return 0
             spec = _client_spec_payload(args)
             if args.client_command == "recommend":
@@ -778,9 +804,86 @@ def cmd_client(args: argparse.Namespace) -> int:
                 print("specification NOT FEASIBLE within the design space")
                 return 1
             return 0
-    except (ServeConnectionError, ServeRequestError, OSError) as error:
+    except (
+        ServeConnectionError,
+        ServeRequestError,
+        ConfigurationError,
+        OSError,
+    ) as error:
         print(f"request failed: {error}", file=sys.stderr)
         return 1
+
+
+def cmd_cluster(args: argparse.Namespace) -> int:
+    """Run the cluster router over a static replica topology."""
+    from repro.cluster import (
+        RouterConfig,
+        load_topology,
+        route_forever,
+        topology_from_flags,
+    )
+
+    try:
+        if args.topology:
+            topology = load_topology(args.topology)
+        elif args.replica:
+            topology = topology_from_flags(args.replica)
+        else:
+            raise ConfigurationError(
+                "give --topology FILE or at least one --replica"
+            )
+    except ConfigurationError as error:
+        print(f"invalid topology: {error}", file=sys.stderr)
+        return 1
+
+    config = RouterConfig(
+        vnodes=args.vnodes,
+        hedge_after_s=(
+            args.hedge_ms / 1000.0 if args.hedge_ms > 0 else None
+        ),
+        max_attempts=args.max_attempts,
+        probe_interval_s=args.probe_interval_ms / 1000.0,
+        eject_after=args.eject_after,
+    )
+
+    def on_ready(server) -> None:
+        print(
+            f"routing on {server.address} across "
+            f"{len(topology)} replicas",
+            flush=True,
+        )
+
+    try:
+        asyncio.run(
+            route_forever(
+                topology,
+                config=config,
+                host=args.host,
+                port=args.port,
+                unix_path=args.unix,
+                ready_callback=on_ready,
+            )
+        )
+    except KeyboardInterrupt:
+        pass
+    finally:
+        print("router stopped")
+    return 0
+
+
+def cmd_atlas_compact(args: argparse.Namespace) -> int:
+    """Rewrite an atlas file without its append-only history."""
+    from repro.atlas import compact_atlas, format_compact_report
+
+    try:
+        report = compact_atlas(
+            args.file, frontier_only=args.frontier_only
+        )
+    except ConfigurationError as error:
+        print(f"cannot compact atlas: {error}", file=sys.stderr)
+        return 1
+    print(format_compact_report(report))
+    return 0
 
 
 def cmd_trace_report(args: argparse.Namespace) -> int:
@@ -1032,6 +1135,21 @@ def build_parser() -> argparse.ArgumentParser:
     atlas_report.add_argument("file", help="atlas JSONL written by --atlas")
     atlas_report.set_defaults(func=cmd_atlas_report)
 
+    atlas_compact = sub.add_parser(
+        "atlas-compact",
+        help="rewrite an atlas file keeping only deduped surviving "
+        "records (optionally frontier designs only)",
+    )
+    atlas_compact.add_argument(
+        "file", help="atlas JSONL written by --atlas"
+    )
+    atlas_compact.add_argument(
+        "--frontier-only", action="store_true",
+        help="drop replay history; keep each scenario's Pareto "
+        "frontier only",
+    )
+    atlas_compact.set_defaults(func=cmd_atlas_compact)
+
     trace_report = sub.add_parser(
         "trace-report",
         help="aggregate a --trace JSONL file into per-stage totals",
@@ -1073,9 +1191,59 @@ def build_parser() -> argparse.ArgumentParser:
         "--resilient", action="store_true",
         help="retry and quarantine failing evaluations per session",
     )
+    serve.add_argument(
+        "--node-id", default=None,
+        help="stable replica identity shown in cluster status tables",
+    )
     _add_parallel_args(serve)
     _add_atlas_arg(serve)
     serve.set_defaults(func=cmd_serve)
+
+    cluster = sub.add_parser(
+        "cluster",
+        help="run the fingerprint-sharded router over serve replicas",
+    )
+    cluster.add_argument("--host", default="127.0.0.1")
+    cluster.add_argument(
+        "--port", type=int, default=0,
+        help="TCP port (0 = pick a free one; printed on startup)",
+    )
+    cluster.add_argument(
+        "--unix", metavar="PATH", default=None,
+        help="route on a unix socket instead of TCP",
+    )
+    cluster.add_argument(
+        "--topology", metavar="FILE", default=None,
+        help='JSON topology file with a "replicas" list',
+    )
+    cluster.add_argument(
+        "--replica", action="append", metavar="HOST:PORT|unix:PATH",
+        default=None,
+        help="replica address (repeatable; alternative to --topology)",
+    )
+    cluster.add_argument(
+        "--hedge-ms", type=float, default=500.0,
+        help="duplicate a straggling request to the next replica "
+        "after this long (0 disables hedging)",
+    )
+    cluster.add_argument(
+        "--max-attempts", type=int, default=3,
+        help="failover attempts per request across replicas",
+    )
+    cluster.add_argument(
+        "--probe-interval-ms", type=float, default=500.0,
+        help="how often each replica's status is probed",
+    )
+    cluster.add_argument(
+        "--eject-after", type=int, default=3,
+        help="consecutive failures before a replica is ejected "
+        "from routing (it rejoins on the next good probe)",
+    )
+    cluster.add_argument(
+        "--vnodes", type=int, default=64,
+        help="virtual nodes per replica on the hash ring",
+    )
+    cluster.set_defaults(func=cmd_cluster)
 
     client = sub.add_parser(
         "client",
@@ -1087,6 +1255,11 @@ def build_parser() -> argparse.ArgumentParser:
         sub_parser.add_argument("--host", default="127.0.0.1")
         sub_parser.add_argument("--port", type=int, default=None)
         sub_parser.add_argument("--unix", metavar="PATH", default=None)
+        sub_parser.add_argument(
+            "--router", metavar="HOST:PORT|unix:PATH", default=None,
+            help="address of a cluster router (overrides "
+            "--host/--port/--unix); requests shard across its replicas",
+        )
 
     def _add_spec_args(sub_parser: argparse.ArgumentParser) -> None:
         sub_parser.add_argument(
@@ -1163,6 +1336,14 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_connection_args(client_status)
     client_status.set_defaults(func=cmd_client)
+
+    client_drain = client_sub.add_parser(
+        "drain",
+        help="stop the server (or every replica, via a router) from "
+        "admitting new work while in-flight work finishes",
+    )
+    _add_connection_args(client_drain)
+    client_drain.set_defaults(func=cmd_client)
 
     client_shutdown = client_sub.add_parser(
         "shutdown", help="ask the server to exit cleanly"

@@ -1,0 +1,170 @@
+"""Async client connection from the router to one replica.
+
+One :class:`ReplicaConnection` multiplexes every router request bound
+for a replica onto a single pipelined socket: requests are re-stamped
+with connection-local ids, a background reader task correlates the
+out-of-order responses back to their futures, and a transport failure
+fails *all* in-flight futures with :class:`ReplicaUnavailableError` —
+the router's signal to fail the affected requests over to the next
+replica on the ring.
+
+The connection is lazy and self-healing: the first request after a
+drop reconnects.  Health accounting (degraded/ejected states) lives in
+:mod:`repro.cluster.health`; this module only reports failures.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+from typing import Any, Dict, Optional
+
+from repro.cluster.topology import Replica
+from repro.serve.protocol import (
+    ProtocolError,
+    decode_message,
+    encode_message,
+)
+
+
+class ReplicaUnavailableError(ConnectionError):
+    """The replica's transport failed (connect, send, or receive)."""
+
+    def __init__(self, replica: str, reason: str) -> None:
+        super().__init__(f"replica {replica!r} unavailable: {reason}")
+        self.replica = replica
+
+
+class ReplicaConnection:
+    """Pipelined newline-JSON connection to one replica."""
+
+    def __init__(
+        self, replica: Replica, connect_timeout_s: float = 5.0
+    ) -> None:
+        self.replica = replica
+        self.connect_timeout_s = connect_timeout_s
+        self._reader: Optional[asyncio.StreamReader] = None
+        self._writer: Optional[asyncio.StreamWriter] = None
+        self._reader_task: Optional["asyncio.Task[None]"] = None
+        self._pending: Dict[int, "asyncio.Future[Dict[str, Any]]"] = {}
+        self._ids = itertools.count(1)
+        self._connect_lock = asyncio.Lock()
+        self._closed = False
+
+    @property
+    def connected(self) -> bool:
+        return self._writer is not None
+
+    async def _ensure_connected(self) -> None:
+        async with self._connect_lock:
+            if self._writer is not None or self._closed:
+                return
+            try:
+                if self.replica.unix_path:
+                    opening = asyncio.open_unix_connection(
+                        self.replica.unix_path
+                    )
+                else:
+                    opening = asyncio.open_connection(
+                        self.replica.host, self.replica.port
+                    )
+                reader, writer = await asyncio.wait_for(
+                    opening, timeout=self.connect_timeout_s
+                )
+            except (OSError, asyncio.TimeoutError) as exc:
+                raise ReplicaUnavailableError(
+                    self.replica.name, f"connect failed: {exc}"
+                ) from exc
+            self._reader = reader
+            self._writer = writer
+            self._reader_task = asyncio.ensure_future(self._read_loop())
+
+    async def _read_loop(self) -> None:
+        reader = self._reader
+        reason = "connection closed by replica"
+        try:
+            while reader is not None:
+                line = await reader.readline()
+                if not line:
+                    break
+                try:
+                    message = decode_message(line)
+                except ProtocolError:
+                    reason = "replica sent an undecodable message"
+                    break
+                future = self._pending.pop(message.get("id"), None)
+                if future is not None and not future.done():
+                    future.set_result(message)
+        except (ConnectionError, OSError, asyncio.LimitOverrunError) as exc:
+            reason = str(exc)
+        except asyncio.CancelledError:
+            reason = "connection closed"
+        finally:
+            self._drop(reason)
+
+    def _drop(self, reason: str) -> None:
+        """Tear down transport state and fail every in-flight request."""
+        writer, self._writer = self._writer, None
+        self._reader = None
+        self._reader_task = None
+        if writer is not None:
+            try:
+                writer.close()
+            except Exception:
+                pass
+        pending, self._pending = self._pending, {}
+        for future in pending.values():
+            if not future.done():
+                future.set_exception(
+                    ReplicaUnavailableError(self.replica.name, reason)
+                )
+
+    async def request(
+        self, op: str, fields: Optional[Dict[str, Any]] = None
+    ) -> Dict[str, Any]:
+        """Send one request; returns the full response envelope.
+
+        Raises :class:`ReplicaUnavailableError` on any transport
+        failure.  Protocol-level errors (``ok: false``) are returned to
+        the caller untouched — the router decides which error codes
+        mean "fail over" and which are the client's own answer.
+        """
+        await self._ensure_connected()
+        writer = self._writer
+        if writer is None:
+            raise ReplicaUnavailableError(
+                self.replica.name, "connection lost before send"
+            )
+        request_id = next(self._ids)
+        message: Dict[str, Any] = {"id": request_id, "op": op}
+        if fields:
+            message.update(
+                {k: v for k, v in fields.items() if v is not None}
+            )
+        loop = asyncio.get_event_loop()
+        future: "asyncio.Future[Dict[str, Any]]" = loop.create_future()
+        self._pending[request_id] = future
+        try:
+            writer.write(encode_message(message))
+            await writer.drain()
+        except (ConnectionError, OSError) as exc:
+            self._pending.pop(request_id, None)
+            self._drop(str(exc))
+            raise ReplicaUnavailableError(
+                self.replica.name, f"send failed: {exc}"
+            ) from exc
+        try:
+            return await future
+        finally:
+            self._pending.pop(request_id, None)
+
+    async def close(self) -> None:
+        self._closed = True
+        task = self._reader_task
+        self._drop("connection closed")
+        if task is not None:
+            task.cancel()
+            try:
+                await task
+            except (asyncio.CancelledError, Exception):
+                pass

@@ -1,0 +1,262 @@
+"""Blocking-world handles: a router thread, and a whole-cluster-in-one.
+
+:class:`RouterHandle` mirrors :class:`~repro.serve.server.ServeHandle`
+for the router: event loop + :class:`ClusterRouter` + socket server on
+a daemon thread, ``start()`` returning once the socket is bound.
+
+:class:`ClusterHandle` is what the MetaCore facades' ``serve(replicas=N)``
+returns: it owns N in-process replica ``ServeHandle``s plus one router
+wired to them, presents the same surface as a single ``ServeHandle``
+(``client()``, ``stop()``, context manager), and registers the facade's
+spec session on *every* replica so session-addressed requests can land
+anywhere the ring sends them.  Replicas share the design atlas (the
+store is multi-writer safe) but get private persistent-cache files —
+caching never changes results, so the split is invisible to clients.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import dataclasses
+import threading
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.cluster.router import (
+    ClusterRouter,
+    RouterConfig,
+    RouterServer,
+    route_forever,
+)
+from repro.cluster.topology import Replica, Topology
+from repro.serve.protocol import spec_to_payload
+from repro.serve.server import ServeHandle
+from repro.serve.service import ServiceConfig
+
+
+class RouterHandle:
+    """Router + socket server on a background thread."""
+
+    def __init__(
+        self,
+        topology: Topology,
+        config: Optional[RouterConfig] = None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        unix_path: Optional[str] = None,
+    ) -> None:
+        self.topology = topology
+        self.config = config or RouterConfig()
+        self.host = host
+        self.port = port
+        self.unix_path = unix_path
+        self.router: Optional[ClusterRouter] = None
+        self._thread: Optional[threading.Thread] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._server: Optional[RouterServer] = None
+        self._ready = threading.Event()
+        self._startup_error: Optional[BaseException] = None
+
+    def start(self) -> "RouterHandle":
+        if self._thread is not None:
+            raise RuntimeError("handle already started")
+        self._thread = threading.Thread(
+            target=self._run, name="metacores-router", daemon=True
+        )
+        self._thread.start()
+        self._ready.wait()
+        if self._startup_error is not None:
+            self._thread.join()
+            raise self._startup_error
+        return self
+
+    def _run(self) -> None:
+        loop = asyncio.new_event_loop()
+        asyncio.set_event_loop(loop)
+        self._loop = loop
+
+        def on_ready(server: RouterServer) -> None:
+            self._server = server
+            self.router = server.router
+            self.port = server.port
+            self._ready.set()
+
+        try:
+            loop.run_until_complete(
+                route_forever(
+                    self.topology,
+                    config=self.config,
+                    host=self.host,
+                    port=self.port,
+                    unix_path=self.unix_path,
+                    ready_callback=on_ready,
+                )
+            )
+        except BaseException as exc:  # surface bind errors to start()
+            if not self._ready.is_set():
+                self._startup_error = exc
+                self._ready.set()
+        finally:
+            loop.close()
+
+    def stop(self) -> None:
+        """Request shutdown and join the router thread (idempotent)."""
+        thread, self._thread = self._thread, None
+        if thread is None:
+            return
+        loop, server = self._loop, self._server
+        if loop is not None and server is not None and loop.is_running():
+            loop.call_soon_threadsafe(server.shutdown_requested.set)
+        thread.join(timeout=30.0)
+
+    def __enter__(self) -> "RouterHandle":
+        if self._thread is None:
+            self.start()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.stop()
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        return (self.host, self.port)
+
+    def client(self, timeout_s: float = 120.0):
+        """A connected synchronous client for the router."""
+        from repro.serve.client import ServeClient
+
+        return ServeClient(
+            host=self.host,
+            port=self.port,
+            unix_path=self.unix_path,
+            timeout_s=timeout_s,
+        )
+
+    def submit_async(self, coroutine):
+        """Schedule a router coroutine; returns a concurrent future."""
+        assert self._loop is not None, "handle not started"
+        return asyncio.run_coroutine_threadsafe(coroutine, self._loop)
+
+    def submit(self, coroutine) -> Any:
+        return self.submit_async(coroutine).result()
+
+
+def _replica_config(base: ServiceConfig, name: str) -> ServiceConfig:
+    """Per-replica service config: own node id, private cache file."""
+    cache_path = base.cache_path
+    if cache_path:
+        cache_path = f"{cache_path}.{name}"
+    return dataclasses.replace(base, node_id=name, cache_path=cache_path)
+
+
+class ClusterHandle:
+    """N in-process replicas + a router, behind one handle.
+
+    The facade surface matches :class:`ServeHandle` where it matters
+    (``client()``, ``stop()``, ``port``, context manager), so call
+    sites can treat ``serve()`` and ``serve(replicas=3)`` uniformly.
+    """
+
+    def __init__(
+        self,
+        config: Optional[ServiceConfig] = None,
+        replicas: int = 2,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        router_config: Optional[RouterConfig] = None,
+    ) -> None:
+        if replicas < 1:
+            raise ValueError("a cluster needs at least one replica")
+        base = config or ServiceConfig()
+        self.host = host
+        self.port = port
+        self.router_config = router_config
+        self.replica_handles: List[ServeHandle] = [
+            ServeHandle(_replica_config(base, f"replica-{index}"), host=host)
+            for index in range(replicas)
+        ]
+        self.router_handle: Optional[RouterHandle] = None
+        self._started = False
+
+    # -- life cycle ------------------------------------------------------
+
+    def start(self) -> "ClusterHandle":
+        if self._started:
+            raise RuntimeError("handle already started")
+        started: List[ServeHandle] = []
+        try:
+            for handle in self.replica_handles:
+                handle.start()
+                started.append(handle)
+            topology = Topology(
+                replicas=tuple(
+                    Replica(
+                        name=f"replica-{index}",
+                        host=handle.host,
+                        port=handle.port,
+                    )
+                    for index, handle in enumerate(self.replica_handles)
+                )
+            )
+            self.router_handle = RouterHandle(
+                topology,
+                config=self.router_config,
+                host=self.host,
+                port=self.port,
+            ).start()
+            self.port = self.router_handle.port
+        except BaseException:
+            for handle in started:
+                handle.stop()
+            raise
+        self._started = True
+        return self
+
+    def stop(self) -> None:
+        """Stop the router, then every replica (idempotent)."""
+        self._started = False
+        router, self.router_handle = self.router_handle, None
+        if router is not None:
+            router.stop()
+        for handle in self.replica_handles:
+            handle.stop()
+
+    def __enter__(self) -> "ClusterHandle":
+        if not self._started:
+            self.start()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.stop()
+
+    # -- conveniences ----------------------------------------------------
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        return (self.host, self.port)
+
+    @property
+    def router(self) -> Optional[ClusterRouter]:
+        return self.router_handle.router if self.router_handle else None
+
+    def client(self, timeout_s: float = 120.0):
+        """A connected synchronous client for the cluster router."""
+        assert self.router_handle is not None, "handle not started"
+        return self.router_handle.client(timeout_s=timeout_s)
+
+    def session_for_spec(self, payload: Dict[str, Any]) -> str:
+        """Register a spec session on every replica; returns its name.
+
+        Session names are evaluator fingerprints, so every replica
+        derives the same name; registering everywhere lets clients
+        address the session by name no matter where the ring routes.
+        """
+        name = None
+        for handle in self.replica_handles:
+            session = handle.service.session_for_spec(payload)
+            name = session.name
+        assert name is not None
+        return name
+
+    def register_spec(self, spec: object) -> str:
+        """Register a facade specification cluster-wide (by object)."""
+        return self.session_for_spec(spec_to_payload(spec))

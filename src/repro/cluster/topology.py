@@ -1,0 +1,176 @@
+"""Static cluster topology: which replicas exist and where they live.
+
+A topology is the router's world view — a named set of serve replicas
+(the ordinary ``metacores serve`` processes), each reachable over TCP
+(``host:port``) or a unix socket.  It comes from a JSON topology file::
+
+    {
+      "replicas": [
+        {"name": "r0", "host": "127.0.0.1", "port": 7777},
+        {"name": "r1", "unix": "/var/run/metacores-r1.sock"}
+      ]
+    }
+
+or from repeated ``--replica`` CLI flags (``HOST:PORT`` or
+``unix:PATH``, auto-named ``replica-0..n`` in flag order).  Loading is
+strict: a corrupt or partial file is rejected with a
+:class:`~repro.errors.ConfigurationError` naming exactly what is wrong
+— a router must never start against a half-described cluster.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, List, Mapping, Optional, Sequence, Union
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class Replica:
+    """One serve process a router can route to."""
+
+    name: str
+    host: Optional[str] = None
+    port: Optional[int] = None
+    unix_path: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ConfigurationError("replica needs a non-empty name")
+        if self.unix_path:
+            if self.host is not None or self.port is not None:
+                raise ConfigurationError(
+                    f"replica {self.name!r}: give host/port or unix, not both"
+                )
+        else:
+            if not self.host or self.port is None:
+                raise ConfigurationError(
+                    f"replica {self.name!r} needs host and port (or unix)"
+                )
+            if not 0 < int(self.port) < 65536:
+                raise ConfigurationError(
+                    f"replica {self.name!r}: port {self.port} out of range"
+                )
+
+    @property
+    def address(self) -> str:
+        """Human-readable endpoint (for logs and status tables)."""
+        if self.unix_path:
+            return str(self.unix_path)
+        return f"{self.host}:{self.port}"
+
+
+@dataclass(frozen=True)
+class Topology:
+    """An ordered, uniquely named replica set."""
+
+    replicas: tuple
+
+    def __post_init__(self) -> None:
+        if not self.replicas:
+            raise ConfigurationError("topology needs at least one replica")
+        names = [replica.name for replica in self.replicas]
+        duplicates = sorted({n for n in names if names.count(n) > 1})
+        if duplicates:
+            raise ConfigurationError(
+                f"duplicate replica names in topology: {duplicates}"
+            )
+
+    def __len__(self) -> int:
+        return len(self.replicas)
+
+    def names(self) -> List[str]:
+        return [replica.name for replica in self.replicas]
+
+
+def _replica_from_entry(index: int, entry: Any) -> Replica:
+    if not isinstance(entry, Mapping):
+        raise ConfigurationError(
+            f"topology replica #{index} is not an object"
+        )
+    unknown = sorted(set(entry) - {"name", "host", "port", "unix"})
+    if unknown:
+        raise ConfigurationError(
+            f"topology replica #{index} has unknown keys: {unknown}"
+        )
+    name = entry.get("name")
+    if not isinstance(name, str) or not name:
+        raise ConfigurationError(
+            f"topology replica #{index} needs a non-empty string name"
+        )
+    unix_path = entry.get("unix")
+    if unix_path is not None and not isinstance(unix_path, str):
+        raise ConfigurationError(
+            f"topology replica {name!r}: unix must be a string path"
+        )
+    port = entry.get("port")
+    if port is not None:
+        if isinstance(port, bool) or not isinstance(port, int):
+            raise ConfigurationError(
+                f"topology replica {name!r}: port must be an integer"
+            )
+    host = entry.get("host")
+    if host is not None and not isinstance(host, str):
+        raise ConfigurationError(
+            f"topology replica {name!r}: host must be a string"
+        )
+    return Replica(name=name, host=host, port=port, unix_path=unix_path)
+
+
+def load_topology(path: Union[str, Path]) -> Topology:
+    """Parse and validate a JSON topology file (strict)."""
+    path = Path(path)
+    try:
+        text = path.read_text(encoding="utf-8")
+    except OSError as exc:
+        raise ConfigurationError(
+            f"cannot read topology file {path}: {exc}"
+        ) from exc
+    try:
+        document = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise ConfigurationError(
+            f"topology file {path} is not valid JSON: {exc}"
+        ) from exc
+    if not isinstance(document, dict):
+        raise ConfigurationError(
+            f"topology file {path} must be a JSON object "
+            'with a "replicas" list'
+        )
+    replicas = document.get("replicas")
+    if not isinstance(replicas, list) or not replicas:
+        raise ConfigurationError(
+            f'topology file {path} needs a non-empty "replicas" list'
+        )
+    return Topology(
+        replicas=tuple(
+            _replica_from_entry(index, entry)
+            for index, entry in enumerate(replicas)
+        )
+    )
+
+
+def topology_from_flags(flags: Sequence[str]) -> Topology:
+    """``--replica`` flag values (``HOST:PORT`` / ``unix:PATH``)."""
+    replicas = []
+    for index, flag in enumerate(flags):
+        name = f"replica-{index}"
+        if flag.startswith("unix:"):
+            replicas.append(Replica(name=name, unix_path=flag[len("unix:"):]))
+            continue
+        host, sep, port_s = flag.rpartition(":")
+        if not sep or not host:
+            raise ConfigurationError(
+                f"--replica {flag!r} is not HOST:PORT or unix:PATH"
+            )
+        try:
+            port = int(port_s)
+        except ValueError:
+            raise ConfigurationError(
+                f"--replica {flag!r} has a non-numeric port"
+            ) from None
+        replicas.append(Replica(name=name, host=host, port=port))
+    return Topology(replicas=tuple(replicas))

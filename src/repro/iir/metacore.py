@@ -388,6 +388,7 @@ class IIRMetaCore:
         port: int = 0,
         unix_path: Optional[str] = None,
         config: Optional[object] = None,
+        replicas: int = 1,
     ):
         """Serve this MetaCore's evaluation engine to concurrent clients.
 
@@ -398,6 +399,13 @@ class IIRMetaCore:
         :class:`~repro.serve.server.ServeHandle` (context manager).
         Results are bit-identical to one-shot evaluation — see
         ``docs/serving.md``.
+
+        With ``replicas > 1`` this becomes cluster mode: N replica
+        services plus a fingerprint-sharded router front door, returned
+        as a started :class:`~repro.cluster.handle.ClusterHandle` with
+        the same ``client()``/``stop()`` surface.  Replicas share the
+        design atlas; results stay bit-identical — see
+        ``docs/cluster.md``.
         """
         # Imported lazily: repro.serve depends on this module.
         from repro.serve import ServeHandle, ServiceConfig, spec_to_payload
@@ -409,6 +417,15 @@ class IIRMetaCore:
                 resilient=self.resilient,
                 atlas_path=self.atlas_path,
             )
+        if replicas > 1:
+            from repro.cluster import ClusterHandle
+
+            cluster = ClusterHandle(
+                config, replicas=replicas, host=host, port=port
+            )
+            cluster.start()
+            cluster.register_spec(self.spec)
+            return cluster
         handle = ServeHandle(
             config, host=host, port=port, unix_path=unix_path
         )

@@ -40,8 +40,11 @@ from repro.serve.service import (
     RequestTimeoutError,
     ServiceClosedError,
     ServiceConfig,
+    ServiceDrainingError,
     ServiceError,
     ServiceOverloadedError,
+    evaluator_for_payload,
+    fingerprint_for_payload,
 )
 
 __all__ = [
@@ -66,6 +69,9 @@ __all__ = [
     "RequestTimeoutError",
     "ServiceClosedError",
     "ServiceConfig",
+    "ServiceDrainingError",
     "ServiceError",
     "ServiceOverloadedError",
+    "evaluator_for_payload",
+    "fingerprint_for_payload",
 ]

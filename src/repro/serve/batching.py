@@ -88,27 +88,42 @@ class MicroBatcher:
     ) -> None:
         """Assemble and run batches for one key, forever."""
         while True:
-            batch = [await queue.get()]
-            deadline = time.monotonic() + self.linger_s
-            while len(batch) < self.max_batch:
-                remaining = deadline - time.monotonic()
-                if remaining <= 0:
-                    # Window expired: still take whatever is already
-                    # queued (no reason to leave ready work behind).
-                    while (
-                        len(batch) < self.max_batch and not queue.empty()
-                    ):
-                        batch.append(queue.get_nowait())
-                    break
-                try:
-                    batch.append(
-                        await asyncio.wait_for(queue.get(), remaining)
-                    )
-                except asyncio.TimeoutError:
-                    continue  # re-check the queue once more, then close
-            # Sequential per key: requests arriving while this batch
-            # evaluates pile up for the next (larger) one.
-            await self.run_batch(key, batch)
+            batch: List[PendingRequest] = []
+            try:
+                batch.append(await queue.get())
+                deadline = time.monotonic() + self.linger_s
+                while len(batch) < self.max_batch:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        # Window expired: still take whatever is
+                        # already queued (no reason to leave ready
+                        # work behind).
+                        while (
+                            len(batch) < self.max_batch
+                            and not queue.empty()
+                        ):
+                            batch.append(queue.get_nowait())
+                        break
+                    try:
+                        batch.append(
+                            await asyncio.wait_for(queue.get(), remaining)
+                        )
+                    except asyncio.TimeoutError:
+                        continue  # re-check the queue, then close
+                # Sequential per key: requests arriving while this
+                # batch evaluates pile up for the next (larger) one.
+                await self.run_batch(key, batch)
+            except asyncio.CancelledError:
+                # close() cancelled us mid-assembly: requests already
+                # pulled off the queue live only in `batch` — fail
+                # them or their waiters hang forever.  (run_batch's
+                # own cancel handler may have failed them already;
+                # the done-check makes this idempotent.)
+                error = RuntimeError("service shut down")
+                for request in batch:
+                    if not request.future.done():
+                        request.future.set_exception(error)
+                raise
 
     async def close(self) -> None:
         """Cancel collectors and fail any not-yet-batched request."""

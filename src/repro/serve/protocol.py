@@ -26,6 +26,9 @@ Operations
     ``constraints`` (metric -> upper bound), ``config``, ``fixed``.
     A library hit answers with zero evaluations; a miss falls back to
     a warm-started search whose log grows the atlas.
+``drain``
+    Stop admitting new work while in-flight work finishes; a cluster
+    router treats a draining replica as a failover target only.
 ``shutdown``
     Ask the server to stop accepting work and exit cleanly.
 

@@ -223,6 +223,12 @@ class ServeServer:
                 fixed=message.get("fixed"),
             )
             return ok_response(request_id, result)
+        if op == "drain":
+            if not self.allow_shutdown:
+                return error_response(
+                    request_id, "forbidden", "remote drain is disabled"
+                )
+            return ok_response(request_id, self.service.drain())
         if op == "shutdown":
             if not self.allow_shutdown:
                 return error_response(

@@ -54,6 +54,34 @@ from repro.serve.protocol import spec_from_payload
 BATCH_SIZE_BUCKETS: Tuple[float, ...] = (1, 2, 4, 8, 16, 32, 64, 128)
 
 
+def evaluator_for_payload(
+    payload: Dict[str, Any],
+) -> Tuple[str, object, Evaluator]:
+    """(kind, spec, evaluator) for a wire spec payload.
+
+    The single construction point shared by the service's session
+    factory and the cluster router's routing-key computation, so both
+    derive the *same* evaluator fingerprint from the same payload.
+    """
+    spec = spec_from_payload(payload)
+    kind = str(payload.get("kind"))
+    if kind == "viterbi":
+        from repro.viterbi.metacore import ViterbiMetacoreEvaluator
+
+        evaluator: Evaluator = ViterbiMetacoreEvaluator(spec)
+    else:
+        from repro.iir.metacore import IIRMetacoreEvaluator
+
+        evaluator = IIRMetacoreEvaluator(spec)
+    return kind, spec, evaluator
+
+
+def fingerprint_for_payload(payload: Dict[str, Any]) -> str:
+    """The evaluator fingerprint a spec payload resolves to."""
+    _kind, _spec, evaluator = evaluator_for_payload(payload)
+    return evaluator_fingerprint(evaluator)
+
+
 class ServiceError(RuntimeError):
     """Base class of request-level service failures."""
 
@@ -76,6 +104,13 @@ class ServiceClosedError(ServiceError):
     """The service is shutting down and accepts no new work."""
 
     code = "closed"
+
+
+class ServiceDrainingError(ServiceError):
+    """The service is draining: in-flight work finishes, new work is
+    rejected (a cluster router fails the request over to a peer)."""
+
+    code = "draining"
 
 
 class EvaluationFailedError(ServiceError):
@@ -112,6 +147,9 @@ class ServiceConfig:
     eval_threads: int = 2
     #: Threads running whole searches.
     search_threads: int = 2
+    #: Stable replica identity reported by ``status`` (cluster routers
+    #: show it in health/routing tables); None = anonymous.
+    node_id: Optional[str] = None
 
 
 class EvaluatorSession:
@@ -268,6 +306,7 @@ class EvaluationService:
         self._eval_executor: Optional[ThreadPoolExecutor] = None
         self._search_executor: Optional[ThreadPoolExecutor] = None
         self._running = False
+        self._draining = False
         self._started_s = 0.0
         # Request accounting (mutated on the loop thread only).
         self.n_pending = 0
@@ -302,6 +341,27 @@ class EvaluationService:
         self._started_s = time.monotonic()
         for session in self.sessions():
             session.warm_up()
+
+    def drain(self) -> Dict[str, Any]:
+        """Stop admitting new work; in-flight work keeps running.
+
+        The replica-side half of a cluster's graceful hand-off: after
+        draining, ``eval``/``search``/``recommend`` submissions answer
+        ``draining`` (which a router treats as a failover signal) while
+        running batches and searches complete normally.  Idempotent;
+        ``status`` reports the flag.
+        """
+        self._draining = True
+        return {"draining": True, "pending": self.n_pending}
+
+    def _check_accepting(self) -> None:
+        """Raise unless the service admits new client-facing work."""
+        if not self._running:
+            raise ServiceClosedError("service is not running")
+        if self._draining:
+            raise ServiceDrainingError(
+                "service is draining and accepts no new work"
+            )
 
     async def stop(self) -> None:
         """Fail queued work, finish in-flight work, release resources.
@@ -368,16 +428,7 @@ class EvaluationService:
         sending byte-different but equivalent payloads of the same
         specification share one evaluator, one cache, one pool.
         """
-        spec = spec_from_payload(payload)
-        kind = str(payload.get("kind"))
-        if kind == "viterbi":
-            from repro.viterbi.metacore import ViterbiMetacoreEvaluator
-
-            evaluator: Evaluator = ViterbiMetacoreEvaluator(spec)
-        else:
-            from repro.iir.metacore import IIRMetacoreEvaluator
-
-            evaluator = IIRMetacoreEvaluator(spec)
+        kind, spec, evaluator = evaluator_for_payload(payload)
         name = evaluator_fingerprint(evaluator)
         with self._sessions_lock:
             existing = self._sessions.get(name)
@@ -429,7 +480,11 @@ class EvaluationService:
         the underlying evaluation is then abandoned, not interrupted —
         and :class:`EvaluationFailedError` when the evaluator raised.
         """
-        if not self._running:
+        if admit:
+            # Search-internal resubmissions (admit=False) still run
+            # while draining: drain finishes in-flight searches.
+            self._check_accepting()
+        elif not self._running:
             raise ServiceClosedError("service is not running")
         if admit and self.n_pending >= self.config.max_pending:
             self.n_rejected += 1
@@ -549,8 +604,7 @@ class EvaluationService:
         :class:`_ServeEvaluatorProxy`, sharing batches and cache state
         with concurrent client traffic for the same specification.
         """
-        if not self._running:
-            raise ServiceClosedError("service is not running")
+        self._check_accepting()
         if session.spec is None:
             raise ConfigurationError(
                 f"session {session.name!r} has no specification; "
@@ -664,8 +718,7 @@ class EvaluationService:
         session's evaluator, cache, and micro-batcher) whose log is
         ingested before the frontier is re-queried.
         """
-        if not self._running:
-            raise ServiceClosedError("service is not running")
+        self._check_accepting()
         if self.atlas is None:
             raise ConfigurationError(
                 "service has no atlas (start it with atlas_path)"
@@ -730,6 +783,8 @@ class EvaluationService:
         info: Dict[str, Any] = {
             "protocol": 1,
             "running": self._running,
+            "draining": self._draining,
+            "node": self.config.node_id,
             "uptime_s": (
                 time.monotonic() - self._started_s if self._running else 0.0
             ),

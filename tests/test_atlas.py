@@ -346,3 +346,124 @@ class TestServeRecommend:
             with handle.client() as client:
                 with pytest.raises(ServeRequestError):
                     client.recommend(spec=spec_to_payload(spec))
+
+
+class TestCompact:
+    def _populate(self, path, n=20):
+        goal = toy_goal()
+        with DesignAtlas(path) as atlas:
+            # Same points first at fidelity 1, then upgraded to
+            # fidelity 2: the log keeps both generations, the
+            # in-memory view only the upgrade — exactly the bloat
+            # compaction exists to drop.
+            for fidelity in (1, 2):
+                atlas.ingest(
+                    "fp1",
+                    "custom",
+                    {"f": 1.0},
+                    goal,
+                    [
+                        toy_record(x, 10.0 + x, 0.0, fidelity=fidelity)
+                        for x in range(n)
+                    ],
+                    max_fidelity=2,
+                )
+            atlas.ingest(
+                "fp2",
+                "custom",
+                {"f": 2.0},
+                goal,
+                [toy_record(99, 1.0, 0.0)],
+                max_fidelity=2,
+            )
+
+    def test_dedup_rewrite_preserves_view(self, tmp_path):
+        from repro.atlas import compact_atlas
+
+        path = tmp_path / "atlas.jsonl"
+        self._populate(path)
+        before = DesignAtlas(path)
+        replay_before = {
+            fp: [canonical_entry(r) for r in before.replay(fp)]
+            for fp in ("fp1", "fp2")
+        }
+        before.close()
+        bytes_before = path.stat().st_size
+
+        report = compact_atlas(path)
+
+        assert report["records_before"] == 41  # two generations + 1
+        assert report["records_after"] == 21  # deduped view
+        assert report["bytes_reclaimed"] > 0
+        assert path.stat().st_size < bytes_before
+        after = DesignAtlas(path)
+        assert after.n_skipped == 0
+        # The rewrite canonicalises record order (sorted by point);
+        # replay feeds a keyed cache, so only the set must survive.
+        for fp in ("fp1", "fp2"):
+            assert sorted(
+                canonical_entry(r) for r in after.replay(fp)
+            ) == sorted(replay_before[fp])
+        assert all(r.fidelity == 2 for r in after.replay("fp1"))
+
+    def test_frontier_only_drops_dominated(self, tmp_path):
+        from repro.atlas import compact_atlas
+
+        path = tmp_path / "atlas.jsonl"
+        self._populate(path)
+        report = compact_atlas(path, frontier_only=True)
+        assert report["frontier_only"] is True
+        assert report["records_after"] == 2  # one per scenario
+        atlas = DesignAtlas(path)
+        front = atlas.frontier("fp1")
+        assert [dict(r.point)["x"] for r in front] == [0]
+        assert len(atlas.replay("fp1")) == 1
+
+    def test_stale_handle_survives_compaction(self, tmp_path):
+        from repro.atlas import compact_atlas
+
+        path = tmp_path / "atlas.jsonl"
+        self._populate(path)
+        stale = DesignAtlas(path)  # opened before the rewrite
+        assert len(stale.replay("fp1")) == 20
+        compact_atlas(path, frontier_only=True)
+        # The rewrite swaps the inode under the stale handle.  Its
+        # refresh re-merges from the new file without crashing; the
+        # already-loaded records stay visible (the in-memory view is
+        # a union — compaction reclaims disk, not reader state).
+        stale.refresh()
+        assert len(stale.replay("fp1")) == 20
+        # ...and the stale handle can still append afterwards, to the
+        # NEW inode, where fresh readers find it.
+        stale.ingest(
+            "fp3",
+            "custom",
+            {"f": 3.0},
+            toy_goal(),
+            [toy_record(7, 5.0, 0.0)],
+            max_fidelity=2,
+        )
+        stale.close()
+        fresh = DesignAtlas(path)
+        assert len(fresh.replay("fp3")) == 1
+        assert len(fresh.replay("fp1")) == 1  # compacted view
+
+    def test_cli_reports_and_rejects_missing(self, tmp_path, capsys):
+        from repro.cli import main
+
+        path = tmp_path / "atlas.jsonl"
+        self._populate(path)
+        assert main(["atlas-compact", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "compacted design atlas" in out
+        assert "41 -> 21" in out
+        assert main(["atlas-compact", str(tmp_path / "none.jsonl")]) == 1
+        assert "cannot compact atlas" in capsys.readouterr().err
+
+
+def canonical_entry(record):
+    return (
+        tuple(sorted((str(k), v) for k, v in record.point)),
+        record.fidelity,
+        json.dumps(dict(record.metrics), sort_keys=True),
+    )
