@@ -122,6 +122,17 @@ def _add_kernel_arg(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_strategy_arg(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--strategy",
+        choices=("grid", "evolve", "surrogate"),
+        default="grid",
+        help="exploration strategy: the multiresolution grid funnel "
+        "(default), seeded evolutionary search, or surrogate-model "
+        "pruned grid rounds (see docs/search-strategies.md)",
+    )
+
+
 def _add_parallel_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--workers",
@@ -277,7 +288,7 @@ def cmd_viterbi_search(args: argparse.Namespace) -> int:
         feature_um=args.feature_um,
     )
     config = SearchConfig(
-        max_resolution=args.max_resolution, refine_top_k=args.top_k
+        max_resolution=args.max_resolution, refine_top_k=args.top_k, strategy=args.strategy
     )
     metacore = ViterbiMetaCore(
         spec,
@@ -363,7 +374,7 @@ def cmd_iir_search(args: argparse.Namespace) -> int:
     """Run the IIR MetaCore search at one sample period."""
     spec = IIRSpec.paper(args.period_us)
     config = SearchConfig(
-        max_resolution=args.max_resolution, refine_top_k=args.top_k
+        max_resolution=args.max_resolution, refine_top_k=args.top_k, strategy=args.strategy
     )
     metacore = IIRMetaCore(
         spec,
@@ -425,7 +436,7 @@ def cmd_table3(args: argparse.Namespace) -> int:
         metacore = ViterbiMetaCore(
             spec, fixed={"G": "standard", "N": 1},
             config=SearchConfig(
-                max_resolution=args.max_resolution, refine_top_k=args.top_k
+                max_resolution=args.max_resolution, refine_top_k=args.top_k, strategy=args.strategy
             ),
             workers=args.workers,
             cache_path=args.cache,
@@ -463,7 +474,7 @@ def cmd_table4(args: argparse.Namespace) -> int:
         metacore = IIRMetaCore(
             IIRSpec.paper(period),
             config=SearchConfig(
-                max_resolution=args.max_resolution, refine_top_k=args.top_k
+                max_resolution=args.max_resolution, refine_top_k=args.top_k, strategy=args.strategy
             ),
             workers=args.workers,
             cache_path=args.cache,
@@ -490,7 +501,7 @@ def cmd_table4(args: argparse.Namespace) -> int:
 def _recommend_metacore(args: argparse.Namespace):
     """The facade a `recommend`/`sweep` invocation addresses."""
     config = SearchConfig(
-        max_resolution=args.max_resolution, refine_top_k=args.top_k
+        max_resolution=args.max_resolution, refine_top_k=args.top_k, strategy=args.strategy
     )
     if args.metacore == "viterbi":
         if args.ber is None or args.throughput is None:
@@ -540,7 +551,7 @@ def cmd_recommend(args: argparse.Namespace) -> int:
 def cmd_sweep(args: argparse.Namespace) -> int:
     """Populate the atlas from a portfolio of specifications."""
     config = SearchConfig(
-        max_resolution=args.max_resolution, refine_top_k=args.top_k
+        max_resolution=args.max_resolution, refine_top_k=args.top_k, strategy=args.strategy
     )
     try:
         if args.metacore == "viterbi":
@@ -792,6 +803,7 @@ def cmd_client(args: argparse.Namespace) -> int:
             config = {
                 "max_resolution": args.max_resolution,
                 "refine_top_k": args.top_k,
+                "strategy": args.strategy,
             }
             result = client.search(spec=spec, config=config)
             print(result["summary"])
@@ -931,6 +943,7 @@ def build_parser() -> argparse.ArgumentParser:
     search.add_argument("--feature-um", type=float, default=0.25)
     search.add_argument("--max-resolution", type=int, default=2)
     search.add_argument("--top-k", type=int, default=3)
+    _add_strategy_arg(search)
     _add_kernel_arg(search)
     _add_parallel_args(search)
     _add_checkpoint_args(search)
@@ -964,6 +977,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     iir.add_argument("--max-resolution", type=int, default=3)
     iir.add_argument("--top-k", type=int, default=4)
+    _add_strategy_arg(iir)
     _add_parallel_args(iir)
     _add_checkpoint_args(iir)
     _add_atlas_arg(iir)
@@ -990,6 +1004,7 @@ def build_parser() -> argparse.ArgumentParser:
     table3.add_argument("--es-n0-db", type=float, default=2.0)
     table3.add_argument("--max-resolution", type=int, default=2)
     table3.add_argument("--top-k", type=int, default=3)
+    _add_strategy_arg(table3)
     _add_kernel_arg(table3)
     _add_parallel_args(table3)
     _add_trace_arg(table3)
@@ -1000,6 +1015,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     table4.add_argument("--max-resolution", type=int, default=3)
     table4.add_argument("--top-k", type=int, default=4)
+    _add_strategy_arg(table4)
     # Accepted for sweep-script symmetry with table3; the IIR machinery
     # has no decode kernels, so the flag is inert here.
     _add_kernel_arg(table4)
@@ -1078,6 +1094,7 @@ def build_parser() -> argparse.ArgumentParser:
         )
         sub_parser.add_argument("--max-resolution", type=int, default=2)
         sub_parser.add_argument("--top-k", type=int, default=3)
+        _add_strategy_arg(sub_parser)
 
     recommend = sub.add_parser(
         "recommend",
@@ -1120,6 +1137,7 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--feature-um", type=float, default=0.25)
     sweep.add_argument("--max-resolution", type=int, default=2)
     sweep.add_argument("--top-k", type=int, default=3)
+    _add_strategy_arg(sweep)
     sweep.add_argument(
         "--atlas", metavar="FILE", required=True,
         help="design atlas the sweep populates",
@@ -1315,6 +1333,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_spec_args(client_search)
     client_search.add_argument("--max-resolution", type=int, default=2)
     client_search.add_argument("--top-k", type=int, default=3)
+    _add_strategy_arg(client_search)
     client_search.set_defaults(func=cmd_client)
 
     client_recommend = client_sub.add_parser(

@@ -45,6 +45,15 @@ from repro.core.bayes import (
     observation_from_counts,
 )
 from repro.core.search import MetacoreSearch, SearchConfig, SearchResult
+from repro.core.strategies import (
+    STRATEGIES,
+    EvolutionaryStrategy,
+    SurrogateModel,
+    SurrogateStrategy,
+    select_lexicographic,
+    select_weighted_sum,
+    validate_strategy,
+)
 from repro.core.baselines import (
     ExhaustiveSearch,
     RandomSearch,
@@ -96,6 +105,13 @@ __all__ = [
     "MetacoreSearch",
     "SearchConfig",
     "SearchResult",
+    "STRATEGIES",
+    "EvolutionaryStrategy",
+    "SurrogateModel",
+    "SurrogateStrategy",
+    "select_lexicographic",
+    "select_weighted_sum",
+    "validate_strategy",
     "ExhaustiveSearch",
     "RandomSearch",
     "SimulatedAnnealing",

@@ -62,6 +62,24 @@ class SearchConfig:
     #: with noisy cheap evaluations the cheapest *apparent* winner is
     #: not always the true one.
     confirm_top_k: int = 3
+    #: Exploration strategy: "grid" (the paper's multiresolution
+    #: funnel), "evolve" (seeded tournament selection + mutation), or
+    #: "surrogate" (model-ranked pruning of grid rounds).  See
+    #: :mod:`repro.core.strategies` and ``docs/search-strategies.md``.
+    strategy: str = "grid"
+    #: Master seed for strategy-internal randomness (the evolutionary
+    #: mode); every draw derives from it deterministically.
+    strategy_seed: int = 20010618
+    #: Offspring bred (and priced) per evolutionary generation.
+    evolve_population: int = 12
+    #: Evolutionary generations after the coarse-grid seeding round.
+    evolve_generations: int = 5
+    #: Fraction of each refined grid the surrogate strategy evaluates
+    #: (model-ranked best first; anchors are always kept).  Lower
+    #: fractions save more evaluations but may prune the winning basin
+    #: on rugged landscapes — raise toward 0.5 (or warm-start from an
+    #: atlas) when exact grid parity matters more than evaluations.
+    surrogate_keep: float = 0.35
 
 
 @dataclass
@@ -86,6 +104,12 @@ class SearchResult:
     #: Coarse levels the injected seeds bypassed (seeds enter directly
     #: at the deepest resolution level instead of surviving the funnel).
     atlas_levels_skipped: int = 0
+    #: Which exploration strategy produced this result.
+    strategy: str = "grid"
+    #: Candidate evaluations the strategy avoided paying for (pruned by
+    #: the surrogate model, or answered from cache for evolve; 0 for
+    #: the plain grid funnel).
+    evals_saved: int = 0
 
     @property
     def best_point(self) -> Optional[Point]:
@@ -118,6 +142,12 @@ class SearchResult:
             f"regions explored: {self.regions_explored}",
             f"feasible: {self.feasible}",
         ]
+        if self.strategy != "grid":
+            lines.insert(
+                1,
+                f"strategy: {self.strategy} "
+                f"({self.evals_saved} evaluations saved)",
+            )
         if self.atlas_seeds or self.atlas_replayed or self.atlas_levels_skipped:
             lines.insert(
                 3,
@@ -172,14 +202,34 @@ class MetacoreSearch:
 
     # ------------------------------------------------------------------
 
+    #: Strategy name -> SearchResult.method label.
+    _METHOD_LABELS = {
+        "grid": "multiresolution",
+        "evolve": "evolutionary",
+        "surrogate": "surrogate",
+    }
+
     def run(self) -> SearchResult:
         """Execute the full search and return the best design found."""
+        from repro.core.strategies import (
+            EvolutionaryStrategy,
+            SurrogateStrategy,
+            validate_strategy,
+        )
+
+        strategy = validate_strategy(self.config.strategy)
         self._ranked.clear()
         self._regions_seen.clear()
         registry = get_registry()
-        with get_tracer().span("search.run") as run_span:
+        evals_saved = 0
+        with get_tracer().span("search.run", strategy=strategy) as run_span:
             atlas_replayed = self._replay_atlas()
-            self._search_region(Region.full(self.space), level=0)
+            if strategy == "evolve":
+                evals_saved = EvolutionaryStrategy(self).explore()
+            elif strategy == "surrogate":
+                evals_saved = SurrogateStrategy(self).explore()
+            else:
+                self._search_region(Region.full(self.space), level=0)
             # Seeds are injected *after* the cold recursion: the
             # Bayesian predictor's state is insertion-order dependent,
             # so evaluating seeds first would perturb the cold
@@ -229,18 +279,22 @@ class MetacoreSearch:
                 atlas_seeds=atlas_seeds,
                 atlas_replayed=atlas_replayed,
                 feasible=feasible,
+                evals_saved=evals_saved,
             )
         return SearchResult(
             best=best,
             feasible=feasible,
             log=self.log,
             regions_explored=len(self._regions_seen),
+            method=self._METHOD_LABELS[strategy],
             cache_hits=self.evaluator.cache_hits,
             cache_misses=self.evaluator.cache_misses,
             persistent_hits=self.evaluator.persistent_hits,
             atlas_seeds=atlas_seeds,
             atlas_replayed=atlas_replayed,
             atlas_levels_skipped=levels_skipped,
+            strategy=strategy,
+            evals_saved=evals_saved,
         )
 
     # -- atlas warm start ------------------------------------------------

@@ -15,7 +15,7 @@ from __future__ import annotations
 
 import math
 import dataclasses
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Dict, Optional, Sequence, Tuple
 
 from repro.core.evalcache import PersistentEvalCache
@@ -268,10 +268,19 @@ class IIRMetaCore:
     #: Path of the persistent design atlas (None = no library): searches
     #: warm-start from it and ingest their logs back into it.
     atlas_path: Optional[str] = None
+    #: Search strategy override ("grid", "evolve" or "surrogate");
+    #: None defers to :attr:`config` (whose own default is "grid").
+    strategy: Optional[str] = None
 
     def design_space(self) -> DesignSpace:
         """Structure x family x word length x ripple allocation."""
         return iir_design_space(self.fixed)
+
+    def _effective_config(self) -> Optional[SearchConfig]:
+        """:attr:`config` with the :attr:`strategy` override applied."""
+        if self.strategy is None:
+            return self.config
+        return replace(self.config or SearchConfig(), strategy=self.strategy)
 
     def _open_atlas(self, engine: "IIRMetacoreEvaluator"):
         """(atlas, seeder) for this scenario, or (None, None)."""
@@ -311,7 +320,7 @@ class IIRMetaCore:
                 self.design_space(),
                 self.spec.goal(),
                 evaluator,
-                config=self.config,
+                config=self._effective_config(),
                 store=store,
                 atlas=seeder,
             )
@@ -356,7 +365,7 @@ class IIRMetaCore:
                 self.spec.goal(),
                 evaluator,
                 self.checkpoint_path,
-                config=self.config,
+                config=self._effective_config(),
                 store=store,
                 resume=self.resume,
                 max_rounds=self.max_rounds,

@@ -651,6 +651,8 @@ class EvaluationService:
             "regions_explored": result.regions_explored,
             "atlas_seeds": result.atlas_seeds,
             "atlas_replayed": result.atlas_replayed,
+            "strategy": result.strategy,
+            "evals_saved": result.evals_saved,
             "summary": result.summary(),
         }
 

@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import math
 import dataclasses
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Dict, Optional, Sequence, Tuple
 
 from repro.core.evalcache import PersistentEvalCache
@@ -453,10 +453,19 @@ class ViterbiMetaCore:
     #: Decode kernel for cost evaluation ("fused" or "reference");
     #: results are bit-identical, only wall-clock differs.
     kernel: str = "fused"
+    #: Search strategy override ("grid", "evolve" or "surrogate");
+    #: None defers to :attr:`config` (whose own default is "grid").
+    strategy: Optional[str] = None
 
     def design_space(self) -> DesignSpace:
         """The Table-2 space with this MetaCore's fixed parameters."""
         return viterbi_design_space(self.fixed)
+
+    def _effective_config(self) -> Optional[SearchConfig]:
+        """:attr:`config` with the :attr:`strategy` override applied."""
+        if self.strategy is None:
+            return self.config
+        return replace(self.config or SearchConfig(), strategy=self.strategy)
 
     def _open_atlas(self, engine: ViterbiMetacoreEvaluator):
         """(atlas, seeder) for this scenario, or (None, None)."""
@@ -496,7 +505,7 @@ class ViterbiMetaCore:
                 self.design_space(),
                 self.spec.goal(),
                 evaluator,
-                config=self.config,
+                config=self._effective_config(),
                 normalizer=normalize_viterbi_point,
                 store=store,
                 atlas=seeder,
@@ -542,7 +551,7 @@ class ViterbiMetaCore:
                 self.spec.goal(),
                 evaluator,
                 self.checkpoint_path,
-                config=self.config,
+                config=self._effective_config(),
                 normalizer=normalize_viterbi_point,
                 store=store,
                 resume=self.resume,

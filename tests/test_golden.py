@@ -178,6 +178,65 @@ def _viterbi_recommend_selection(atlas_path: str) -> Dict[str, Any]:
     }
 
 
+def _evolve_search_selection() -> Dict[str, Any]:
+    """The seeded evolutionary strategy on the small Viterbi slice.
+
+    Freezes the full selection (point, metrics, evaluation count,
+    evaluations saved) — tournament selection, mutation draws, and the
+    polish walk are all driven by the spawned strategy RNG, so any
+    change to the breeding order or seeding shows up here first.
+    """
+    from repro.core import BERThresholdCurve, SearchConfig
+    from repro.viterbi import ViterbiMetaCore, ViterbiSpec
+
+    metacore = ViterbiMetaCore(
+        ViterbiSpec(
+            throughput_bps=1e6,
+            ber_curve=BERThresholdCurve.single(2.0, 1e-2),
+        ),
+        fixed={"G": "standard", "N": 1, "K": 3, "Q": "hard"},
+        config=SearchConfig(
+            max_resolution=1, refine_top_k=1, strategy="evolve"
+        ),
+    )
+    result = metacore.search()
+    return {
+        "strategy": result.strategy,
+        "feasible": result.feasible,
+        "best_point": result.best_point,
+        "best_metrics": result.best_metrics,
+        "n_evaluations": result.log.n_evaluations,
+        "evals_saved": result.evals_saved,
+    }
+
+
+def _surrogate_search_selection() -> Dict[str, Any]:
+    """The surrogate-pruned funnel on the Table 4 IIR space.
+
+    Freezes the pruned walk's selection: the ridge/nearest-neighbor
+    fit, the keep-fraction cut, and the anchor-protected survivor set
+    must reproduce bit-identically for the same seed and space.
+    """
+    from repro.core import SearchConfig
+    from repro.iir import IIRMetaCore, IIRSpec
+
+    metacore = IIRMetaCore(
+        IIRSpec.paper(4.0),
+        config=SearchConfig(
+            max_resolution=1, refine_top_k=2, strategy="surrogate"
+        ),
+    )
+    result = metacore.search()
+    return {
+        "strategy": result.strategy,
+        "feasible": result.feasible,
+        "best_point": result.best_point,
+        "best_metrics": result.best_metrics,
+        "n_evaluations": result.log.n_evaluations,
+        "evals_saved": result.evals_saved,
+    }
+
+
 # ---------------------------------------------------------------------------
 # IIR pipeline: design -> realize -> quantize -> measure -> synthesize
 # ---------------------------------------------------------------------------
@@ -260,6 +319,20 @@ class TestGoldenViterbi:
             "viterbi_recommend",
             _viterbi_recommend_selection(str(tmp_path / "atlas.jsonl")),
             regen_golden,
+        )
+
+
+class TestGoldenStrategies:
+    """Frozen selections for the pluggable search strategies."""
+
+    def test_evolve_selection(self, regen_golden):
+        check_golden(
+            "evolve_search", _evolve_search_selection(), regen_golden
+        )
+
+    def test_surrogate_selection(self, regen_golden):
+        check_golden(
+            "surrogate_search", _surrogate_search_selection(), regen_golden
         )
 
 

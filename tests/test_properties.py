@@ -13,9 +13,19 @@ import numpy as np
 import pytest
 from hypothesis import assume, given, settings, strategies as st
 
-from repro.core import DesignSpace, DiscreteParameter, Region
+from repro.core import (
+    ContinuousParameter,
+    Correlation,
+    DesignSpace,
+    DiscreteParameter,
+    Region,
+    SurrogateModel,
+    select_lexicographic,
+    select_weighted_sum,
+)
 from repro.core.evaluation import EvaluationRecord
 from repro.core.objectives import Direction, Objective
+from repro.core.parameters import frozen_point
 from repro.core.pareto import dominates, front_sort_key, pareto_front
 from repro.iir.structures import realize
 from repro.iir.transfer import TransferFunction
@@ -430,6 +440,115 @@ class TestParetoProperties:
         assert [
             front_sort_key(r, self.OBJECTIVES) for r in base
         ] == sorted(front_sort_key(r, self.OBJECTIVES) for r in base)
+
+
+class TestStrategyProperties:
+    """Determinism invariants behind the pluggable search strategies."""
+
+    SPACE = DesignSpace(
+        [
+            DiscreteParameter("w", tuple(range(6))),
+            DiscreteParameter(
+                "s", ("ladder", "cascade", "parallel"),
+                correlation=Correlation.NONE,
+            ),
+            ContinuousParameter("r", 0.0, 1.0),
+        ]
+    )
+
+    OBJECTIVES = [
+        Objective("a", Direction.MINIMIZE),
+        Objective("b", Direction.MAXIMIZE),
+    ]
+
+    METRICS = st.fixed_dictionaries(
+        {
+            "a": st.sampled_from((0.0, 1.0, 2.0, 3.0)),
+            "b": st.sampled_from((0.0, 1.0, 2.0, 3.0)),
+        }
+    )
+
+    @classmethod
+    def _random_points(cls, rng, count):
+        structures = ("ladder", "cascade", "parallel")
+        return [
+            {
+                "w": int(rng.integers(6)),
+                "s": structures[rng.integers(3)],
+                "r": float(rng.random()),
+            }
+            for _ in range(count)
+        ]
+
+    @staticmethod
+    def _records(metric_dicts):
+        return [
+            EvaluationRecord(point=(("x", i),), fidelity=1, metrics=m)
+            for i, m in enumerate(metric_dicts)
+        ]
+
+    @given(
+        seed=st.integers(0, 10_000),
+        n_train=st.integers(2, 10),
+        n_candidates=st.integers(1, 12),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_surrogate_rank_invariant_under_shuffle(
+        self, seed, n_train, n_candidates
+    ):
+        """The model ranks a candidate list identically no matter what
+        order the candidates are presented in — the property the
+        pruned funnel's determinism guarantee rests on."""
+        rng = np.random.default_rng(seed)
+        training = self._random_points(rng, n_train)
+        scores = [float(s) for s in rng.normal(size=n_train)]
+        model = SurrogateModel(self.SPACE)
+        assume(model.fit(training, scores))
+        candidates = self._random_points(rng, n_candidates)
+        baseline = [
+            frozen_point(candidates[i]) for i in model.rank(candidates)
+        ]
+        permutation = rng.permutation(n_candidates)
+        shuffled = [candidates[i] for i in permutation]
+        again = [frozen_point(shuffled[i]) for i in model.rank(shuffled)]
+        assert baseline == again
+
+    @given(
+        pool=st.lists(METRICS, min_size=1, max_size=12),
+        wa=st.floats(0.0, 10.0),
+        wb=st.floats(0.0, 10.0),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_weighted_sum_selects_front_member(self, pool, wa, wb):
+        """Any non-negative weighting picks a Pareto-front member."""
+        records = self._records(pool)
+        front_points = {
+            r.point for r in pareto_front(records, self.OBJECTIVES)
+        }
+        choice = select_weighted_sum(records, self.OBJECTIVES, (wa, wb))
+        assert choice.point in front_points
+
+    @given(
+        pool=st.lists(METRICS, min_size=1, max_size=12),
+        a_first=st.booleans(),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_lexicographic_selects_front_member(self, pool, a_first):
+        """Any priority order picks a Pareto-front member, and the
+        winner is optimal on the leading objective over the front."""
+        records = self._records(pool)
+        front = pareto_front(records, self.OBJECTIVES)
+        front_points = {r.point for r in front}
+        priority = ("a", "b") if a_first else ("b", "a")
+        choice = select_lexicographic(
+            records, self.OBJECTIVES, priority=priority
+        )
+        assert choice.point in front_points
+        leading = next(
+            o for o in self.OBJECTIVES if o.metric == priority[0]
+        )
+        best = min(leading.score(r.metrics) for r in front)
+        assert leading.score(choice.metrics) == best
 
 
 class TestGridProperties:
