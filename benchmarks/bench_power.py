@@ -1,0 +1,155 @@
+"""Benchmark: the power-aware cost engine's two core contracts.
+
+Writes ``BENCH_power.json`` at the repo root and exits nonzero when
+either gate is violated (the contract in ``docs/power.md``):
+
+- **Gate A (bit-identity off).** With no ``PowerConfig``, the golden
+  Viterbi search scenario reproduces the frozen selection in
+  ``tests/golden/viterbi_search.json`` exactly — point, metrics,
+  feasibility, and evaluation count.  Power support must be invisible
+  until asked for.
+- **Gate B (energy under a cap).** The power-on search at the node's
+  nominal operating point selects the same area-optimal design and
+  prices its energy; re-searching at a reduced supply voltage under an
+  energy cap of 95% of that figure must find a *feasible* design with
+  *strictly lower* energy per bit.  Dynamic energy scales with Vdd²,
+  so under-volting must beat the nominal area-optimal point.
+
+Run with::
+
+    PYTHONPATH=src python benchmarks/bench_power.py
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+from pathlib import Path
+
+from repro.core import BERThresholdCurve, SearchConfig
+from repro.power import PowerConfig, technology_node
+from repro.viterbi import ViterbiMetaCore, ViterbiSpec
+
+#: Energy cap for Gate B, relative to the nominal area-optimal energy.
+CAP_FRACTION = 0.95
+
+#: Reduced supply for Gate B, relative to the node's nominal Vdd.
+VDD_FRACTION = 0.8
+
+FIXED = {"G": "standard", "N": 1, "K": 3, "Q": "hard"}
+CONFIG = dict(max_resolution=1, refine_top_k=1)
+
+
+def run_search(power):
+    """The golden search scenario, with optional power pricing."""
+    metacore = ViterbiMetaCore(
+        ViterbiSpec(
+            throughput_bps=1e6,
+            ber_curve=BERThresholdCurve.single(2.0, 1e-2),
+            power=power,
+        ),
+        fixed=FIXED,
+        config=SearchConfig(**CONFIG),
+    )
+    start = time.perf_counter()
+    result = metacore.search()
+    return result, time.perf_counter() - start
+
+
+def main() -> int:
+    repo_root = Path(__file__).resolve().parent.parent
+    failures = []
+
+    # Gate A: power off reproduces the golden fixture bit-for-bit.
+    golden = json.loads(
+        (repo_root / "tests" / "golden" / "viterbi_search.json").read_text(
+            encoding="utf-8"
+        )
+    )
+    off, off_wall = run_search(None)
+    off_row = {
+        "feasible": off.feasible,
+        "best_point": off.best_point,
+        "best_metrics": off.best_metrics,
+        "n_evaluations": off.log.n_evaluations,
+    }
+    identical = off_row == golden
+    if not identical:
+        failures.append(
+            "power-off selection diverged from tests/golden/"
+            "viterbi_search.json — the opt-in gate leaked"
+        )
+    if any("energy" in name for name in off.best_metrics):
+        failures.append("power-off metrics contain energy keys")
+
+    # Gate B: nominal pricing, then an under-volted search beats it
+    # under a 95% energy cap.
+    node = technology_node(ViterbiSpec.__dataclass_fields__["feature_um"].default)
+    nominal, _ = run_search(PowerConfig())
+    if nominal.best_point != off.best_point:
+        failures.append(
+            "nominal-point power pricing changed the selected design"
+        )
+    nominal_energy = nominal.best_metrics["energy_nj_per_bit"]
+    cap = CAP_FRACTION * nominal_energy
+
+    capped, capped_wall = run_search(
+        PowerConfig(vdd_v=VDD_FRACTION * node.vdd_nominal_v, max_energy_nj=cap)
+    )
+    if not capped.feasible:
+        failures.append(
+            f"under-volted search infeasible under cap {cap:.4g} nJ/bit"
+        )
+    capped_energy = (
+        capped.best_metrics["energy_nj_per_bit"] if capped.feasible else None
+    )
+    if capped.feasible and not capped_energy < nominal_energy:
+        failures.append(
+            f"under-volted energy {capped_energy:.4g} nJ/bit not below "
+            f"nominal area-optimal {nominal_energy:.4g} nJ/bit"
+        )
+
+    report = {
+        "benchmark": "power-aware cost engine: gating + energy-capped search",
+        "gates": {
+            "A": "power off bit-identical to the golden search selection",
+            "B": f"under-volted ({VDD_FRACTION:.0%} Vdd) search feasible "
+            f"under a {CAP_FRACTION:.0%} energy cap with lower energy",
+        },
+        "power_off": {
+            "bit_identical_to_golden": identical,
+            "best_point": off.best_point,
+            "area_mm2": off.best_metrics["area_mm2"],
+            "n_evaluations": off.log.n_evaluations,
+            "wall_s": round(off_wall, 4),
+        },
+        "nominal": {
+            "node_um": node.feature_um,
+            "vdd_v": node.vdd_nominal_v,
+            "best_point": nominal.best_point,
+            "energy_nj_per_bit": nominal_energy,
+            "power_mw": nominal.best_metrics["power_mw"],
+        },
+        "energy_capped": {
+            "vdd_v": VDD_FRACTION * node.vdd_nominal_v,
+            "max_energy_nj": cap,
+            "feasible": capped.feasible,
+            "best_point": capped.best_point,
+            "energy_nj_per_bit": capped_energy,
+            "power_mw": capped.best_metrics["power_mw"]
+            if capped.feasible
+            else None,
+            "wall_s": round(capped_wall, 4),
+        },
+    }
+    out = repo_root / "BENCH_power.json"
+    out.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
+    print(json.dumps(report, indent=2))
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

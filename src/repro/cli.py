@@ -61,6 +61,7 @@ from repro.iir import (
     realize,
 )
 from repro.iir.design import FILTER_FAMILIES
+from repro.power import PowerConfig
 from repro.resilience import (
     Campaign,
     CampaignConfig,
@@ -160,6 +161,70 @@ def _add_atlas_arg(parser: argparse.ArgumentParser) -> None:
         "stored frontiers and ingest their results back "
         "(inspect with `metacores atlas-report FILE`)",
     )
+
+
+def _add_power_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--power",
+        action="store_true",
+        help="enable power-aware pricing: energy joins the objectives "
+        "and metrics (see docs/power.md); off by default, so results "
+        "stay bit-identical to the classic cost engine",
+    )
+    parser.add_argument(
+        "--tech-node", type=float, default=None, metavar="UM",
+        help="technology node (um) to price energy at; defaults to the "
+        "specification's own feature size",
+    )
+    parser.add_argument(
+        "--vdd", type=float, default=None, metavar="V",
+        help="DVFS supply voltage; defaults to the node's nominal Vdd "
+        "(below nominal slows the clock but saves quadratic energy)",
+    )
+    parser.add_argument(
+        "--max-power-mw", type=float, default=None, metavar="MW",
+        help="average-power cap (constraint on power_mw)",
+    )
+    parser.add_argument(
+        "--max-energy-nj", type=float, default=None, metavar="NJ",
+        help="energy cap per decoded bit / output sample",
+    )
+
+
+def _power_config(args: argparse.Namespace) -> Optional[PowerConfig]:
+    """The ``PowerConfig`` the ``--power`` flags describe (None = off)."""
+    if not getattr(args, "power", False):
+        for flag, name in (
+            ("tech_node", "--tech-node"),
+            ("vdd", "--vdd"),
+            ("max_power_mw", "--max-power-mw"),
+            ("max_energy_nj", "--max-energy-nj"),
+        ):
+            if getattr(args, flag, None) is not None:
+                raise ConfigurationError(
+                    f"{name} has no effect without --power"
+                )
+        return None
+    return PowerConfig(
+        tech_node_um=args.tech_node,
+        vdd_v=args.vdd,
+        max_power_mw=args.max_power_mw,
+        max_energy_nj=args.max_energy_nj,
+    )
+
+
+def _print_energy_line(metrics: dict) -> None:
+    """One report line for the energy metrics, when priced."""
+    for key, unit in (
+        ("energy_nj_per_bit", "nJ/bit"),
+        ("energy_nj_per_sample", "nJ/sample"),
+    ):
+        if key in metrics:
+            print(
+                f"energy = {metrics[key]:.4g} {unit}, "
+                f"power = {metrics.get('power_mw', math.nan):.4g} mW"
+            )
+            return
 
 
 def _parse_constraints(pairs: Optional[List[str]]) -> dict:
@@ -282,10 +347,16 @@ def cmd_viterbi_ber(args: argparse.Namespace) -> int:
 
 def cmd_viterbi_search(args: argparse.Namespace) -> int:
     """Run the multiresolution search for a (BER, throughput) spec."""
+    try:
+        power = _power_config(args)
+    except ConfigurationError as error:
+        print(f"invalid request: {error}", file=sys.stderr)
+        return 2
     spec = ViterbiSpec(
         throughput_bps=args.throughput,
         ber_curve=BERThresholdCurve.single(args.es_n0_db, args.ber),
         feature_um=args.feature_um,
+        power=power,
     )
     config = SearchConfig(
         max_resolution=args.max_resolution, refine_top_k=args.top_k, strategy=args.strategy
@@ -318,6 +389,7 @@ def cmd_viterbi_search(args: argparse.Namespace) -> int:
             f"measured BER = {metrics.get('ber', math.nan):.3e} "
             f"(threshold {args.ber:g} at {args.es_n0_db:g} dB)"
         )
+        _print_energy_line(metrics)
     if not result.feasible:
         print("specification NOT FEASIBLE within the design space")
         return 1
@@ -372,7 +444,12 @@ def cmd_iir_noise(args: argparse.Namespace) -> int:
 
 def cmd_iir_search(args: argparse.Namespace) -> int:
     """Run the IIR MetaCore search at one sample period."""
-    spec = IIRSpec.paper(args.period_us)
+    try:
+        power = _power_config(args)
+    except ConfigurationError as error:
+        print(f"invalid request: {error}", file=sys.stderr)
+        return 2
+    spec = IIRSpec.paper(args.period_us, power=power)
     config = SearchConfig(
         max_resolution=args.max_resolution, refine_top_k=args.top_k, strategy=args.strategy
     )
@@ -394,6 +471,8 @@ def cmd_iir_search(args: argparse.Namespace) -> int:
             )
             return 3
     print(session.summary() if session is not None else result.summary())
+    if result.best_metrics is not None:
+        _print_energy_line(result.best_metrics)
     if not result.feasible:
         print("specification NOT FEASIBLE within the design space")
         return 1
@@ -503,6 +582,7 @@ def _recommend_metacore(args: argparse.Namespace):
     config = SearchConfig(
         max_resolution=args.max_resolution, refine_top_k=args.top_k, strategy=args.strategy
     )
+    power = _power_config(args)
     if args.metacore == "viterbi":
         if args.ber is None or args.throughput is None:
             raise ConfigurationError(
@@ -512,6 +592,7 @@ def _recommend_metacore(args: argparse.Namespace):
             throughput_bps=args.throughput,
             ber_curve=BERThresholdCurve.single(args.es_n0_db, args.ber),
             feature_um=args.feature_um,
+            power=power,
         )
         return ViterbiMetaCore(
             spec,
@@ -524,7 +605,7 @@ def _recommend_metacore(args: argparse.Namespace):
     if args.period_us is None:
         raise ConfigurationError("iir recommendations need --period-us")
     return IIRMetaCore(
-        IIRSpec.paper(args.period_us),
+        IIRSpec.paper(args.period_us, power=power),
         config=config,
         workers=args.workers,
         cache_path=args.cache,
@@ -554,6 +635,7 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         max_resolution=args.max_resolution, refine_top_k=args.top_k, strategy=args.strategy
     )
     try:
+        power = _power_config(args)
         if args.metacore == "viterbi":
             if not args.specs:
                 raise ConfigurationError(
@@ -572,6 +654,7 @@ def cmd_sweep(args: argparse.Namespace) -> int:
                     throughput_bps=throughput,
                     ber_curve=BERThresholdCurve.single(args.es_n0_db, ber),
                     feature_um=args.feature_um,
+                    power=power,
                 )
                 for ber, throughput in pairs
             ]
@@ -587,7 +670,10 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         else:
             if not args.periods:
                 raise ConfigurationError("iir sweeps need --periods ...")
-            specs = [IIRSpec.paper(period) for period in args.periods]
+            specs = [
+                IIRSpec.paper(period, power=power)
+                for period in args.periods
+            ]
             labels = [f"{period:g} us" for period in args.periods]
             prototype = IIRMetaCore(
                 specs[0],
@@ -700,6 +786,7 @@ def _client_spec_payload(args: argparse.Namespace) -> dict:
     from repro.iir import IIRSpec
     from repro.serve import spec_to_payload
 
+    power = _power_config(args)
     if args.metacore == "viterbi":
         if args.ber is None or args.throughput is None:
             raise ConfigurationError(
@@ -710,11 +797,12 @@ def _client_spec_payload(args: argparse.Namespace) -> dict:
             ber_curve=BERThresholdCurve.single(args.es_n0_db, args.ber),
             feature_um=args.feature_um,
             seed=args.seed,
+            power=power,
         )
     else:
         if args.period_us is None:
             raise ConfigurationError("iir requests need --period-us")
-        spec = IIRSpec.paper(args.period_us)
+        spec = IIRSpec.paper(args.period_us, power=power)
     return spec_to_payload(spec)
 
 
@@ -944,6 +1032,7 @@ def build_parser() -> argparse.ArgumentParser:
     search.add_argument("--max-resolution", type=int, default=2)
     search.add_argument("--top-k", type=int, default=3)
     _add_strategy_arg(search)
+    _add_power_args(search)
     _add_kernel_arg(search)
     _add_parallel_args(search)
     _add_checkpoint_args(search)
@@ -978,6 +1067,7 @@ def build_parser() -> argparse.ArgumentParser:
     iir.add_argument("--max-resolution", type=int, default=3)
     iir.add_argument("--top-k", type=int, default=4)
     _add_strategy_arg(iir)
+    _add_power_args(iir)
     _add_parallel_args(iir)
     _add_checkpoint_args(iir)
     _add_atlas_arg(iir)
@@ -1095,6 +1185,7 @@ def build_parser() -> argparse.ArgumentParser:
         sub_parser.add_argument("--max-resolution", type=int, default=2)
         sub_parser.add_argument("--top-k", type=int, default=3)
         _add_strategy_arg(sub_parser)
+        _add_power_args(sub_parser)
 
     recommend = sub.add_parser(
         "recommend",
@@ -1138,6 +1229,7 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--max-resolution", type=int, default=2)
     sweep.add_argument("--top-k", type=int, default=3)
     _add_strategy_arg(sweep)
+    _add_power_args(sweep)
     sweep.add_argument(
         "--atlas", metavar="FILE", required=True,
         help="design atlas the sweep populates",
@@ -1300,6 +1392,7 @@ def build_parser() -> argparse.ArgumentParser:
             "--period-us", type=float, default=None,
             help="sample period in us (iir)",
         )
+        _add_power_args(sub_parser)
 
     client_eval = client_sub.add_parser(
         "eval", help="price one design point on the server"

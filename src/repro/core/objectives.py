@@ -163,19 +163,26 @@ class DesignGoal:
         """Feasibility-first comparison: negative when ``a`` is better.
 
         Feasible points beat infeasible ones; among feasible points the
-        primary objective decides; among infeasible ones the smaller
-        total violation wins (so the search climbs toward feasibility).
+        objectives decide lexicographically (primary first, later
+        objectives only break ties — identical to the old primary-only
+        rule for single-objective goals); among infeasible ones the
+        smaller total violation wins (so the search climbs toward
+        feasibility).
         """
         va, vb = self.total_violation(a), self.total_violation(b)
         feasible_a, feasible_b = va == 0.0, vb == 0.0
         if feasible_a != feasible_b:
             return -1 if feasible_a else 1
         if feasible_a:
-            sa, sb = self.primary.score(a), self.primary.score(b)
-        else:
-            sa, sb = va, vb
-        if sa < sb:
+            for objective in self.objectives:
+                sa, sb = objective.score(a), objective.score(b)
+                if sa < sb:
+                    return -1
+                if sa > sb:
+                    return 1
+            return 0
+        if va < vb:
             return -1
-        if sa > sb:
+        if va > vb:
             return 1
         return 0

@@ -3,7 +3,11 @@
 A MetaCore search optimizes one primary objective under constraints,
 but the *reporting* of trade-offs (area vs. BER vs. throughput, as in
 the paper's Table 1 discussion) needs Pareto fronts over evaluation
-logs.
+logs.  Everything here is objective-count agnostic: the same
+``dominates`` / ``pareto_front`` / ``front_sort_key`` trio that served
+the 2-metric goals carries the 3-objective power-aware goals
+(area, energy, feasibility margins — see :mod:`repro.power`) without
+special cases.
 """
 
 from __future__ import annotations

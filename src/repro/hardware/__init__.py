@@ -4,6 +4,10 @@ Provides the area and throughput halves of the paper's cost-evaluation
 engine: a VLIW machine model with a resource-constrained scheduler fed
 by analytic operation traces (for the Viterbi MetaCore), and a
 HYPER-style behavioral-synthesis estimator (for the IIR MetaCore).
+The per-operation energy model (:class:`EnergyEstimate` /
+:func:`estimate_energy`) is the dynamic-energy base of the power-aware
+cost engine in :mod:`repro.power`, which adds technology/DVFS scaling
+and storage leakage on top.
 """
 
 from repro.hardware.opcounts import OperationCounts

@@ -118,6 +118,7 @@ def estimate_iir_implementation(
     word_length: int,
     sample_period_us: float,
     feature_um: float = REFERENCE_FEATURE_UM,
+    delay_scale: float = 1.0,
 ) -> SynthesisEstimate:
     """Estimate the implementation of a realization at a sample rate.
 
@@ -126,12 +127,19 @@ def estimate_iir_implementation(
     a serial feedback loop faster, which is what pushes the long-loop
     structures (ladder, continued fraction) out of the running at the
     paper's high-throughput rows.
+
+    ``delay_scale`` stretches (> 1) or shrinks (< 1) every operator
+    delay uniformly — the DVFS hook: a reduced supply slows the logic,
+    tightening both the cycle budget and the recursion bound.  The
+    default 1.0 is an exact no-op.
     """
     if word_length < 4:
         raise ConfigurationError("word length below 4 bits is not supported")
     if sample_period_us <= 0:
         raise ConfigurationError("sample period must be positive")
-    scale = feature_um / REFERENCE_FEATURE_UM
+    if delay_scale <= 0:
+        raise ConfigurationError("delay scale must be positive")
+    scale = feature_um / REFERENCE_FEATURE_UM * delay_scale
     clock_ns = (
         mult_delay_ns(word_length)
         if stats.multiplies

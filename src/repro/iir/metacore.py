@@ -40,6 +40,8 @@ from repro.iir.design import (
 )
 from repro.iir.fixedpoint import check_quantized
 from repro.iir.structures.base import Realization, available_structures, realize
+from repro.observability.metrics import get_registry
+from repro.power import PowerConfig, PowerModel
 
 #: Frequency-grid density per evaluation fidelity (the paper's "longer
 #: run times" on finer search grids).
@@ -120,25 +122,51 @@ class IIRSpec:
     filter_spec: FilterSpec
     sample_period_us: float
     feature_um: float = 1.2
+    #: Opt-in power pricing (see :mod:`repro.power`); None keeps the
+    #: classic cost engine and its fingerprints untouched.
+    power: Optional[PowerConfig] = None
 
     def __post_init__(self) -> None:
         if self.sample_period_us <= 0:
             raise ConfigurationError("sample period must be positive")
 
     @classmethod
-    def paper(cls, sample_period_us: float) -> "IIRSpec":
+    def paper(
+        cls,
+        sample_period_us: float,
+        power: Optional[PowerConfig] = None,
+    ) -> "IIRSpec":
         """The Sec. 5.3 band-pass spec at a Table-4 sample period."""
         return cls(
             filter_spec=paper_bandpass_spec(),
             sample_period_us=sample_period_us,
+            power=power,
         )
 
     def goal(self) -> DesignGoal:
-        """Minimize area subject to meeting the frequency-domain spec."""
-        return DesignGoal(
-            objectives=[Objective("area_mm2")],
-            constraints=[Constraint("spec_violation", upper=0.0)],
-        )
+        """Minimize area subject to meeting the frequency-domain spec.
+
+        With power pricing enabled, energy per output sample joins the
+        objectives (unless configured constraint-only) and the
+        configured energy/power caps become constraints.
+        """
+        objectives = [Objective("area_mm2")]
+        constraints = [Constraint("spec_violation", upper=0.0)]
+        if self.power is not None:
+            if self.power.objective:
+                objectives.append(Objective("energy_nj_per_sample"))
+            if self.power.max_energy_nj is not None:
+                constraints.append(
+                    Constraint(
+                        "energy_nj_per_sample",
+                        upper=self.power.max_energy_nj,
+                    )
+                )
+            if self.power.max_power_mw is not None:
+                constraints.append(
+                    Constraint("power_mw", upper=self.power.max_power_mw)
+                )
+        return DesignGoal(objectives=objectives, constraints=constraints)
 
 
 def _margin_spec(spec: FilterSpec, allocation: float) -> FilterSpec:
@@ -175,17 +203,37 @@ class IIRMetacoreEvaluator:
         self.spec = spec
         self.max_fidelity = len(FIDELITY_GRID_POINTS) - 1
         self._realizations: Dict[Tuple[str, str, float], Realization] = {}
+        self._power_model: Optional[PowerModel] = (
+            PowerModel.for_spec(spec.feature_um, spec.power)
+            if spec.power is not None
+            else None
+        )
+        #: DVFS delay stretch (1 / clock ratio); exactly 1.0 with power
+        #: off or nominal Vdd, keeping non-energy metrics bit-identical.
+        self._delay_scale: float = (
+            1.0 / self._power_model.frequency_scale
+            if self._power_model is not None
+            else 1.0
+        )
 
     def fingerprint(self) -> str:
         """Cross-run cache key over the spec and evaluation settings."""
         import repro
 
+        # Enabled power configs get their own cache namespace; the
+        # default power-off fingerprint stays byte-identical.
+        power = (
+            self.spec.power.fingerprint_fragment()
+            if self.spec.power is not None
+            else ""
+        )
         return (
             f"iir:v{repro.__version__}"
             f":grids={FIDELITY_GRID_POINTS}"
             f":period={self.spec.sample_period_us:.6g}"
             f":feature={self.spec.feature_um:.6g}"
             f":spec={self.spec.filter_spec!r}"
+            f"{power}"
         )
 
     # ------------------------------------------------------------------
@@ -210,11 +258,18 @@ class IIRMetacoreEvaluator:
         family = str(point["family"])
         word_length = int(point["word_length"])
         allocation = float(point["ripple_allocation"])
+        if self._power_model is not None:
+            registry = get_registry()
+            registry.counter("power.priced").inc()
+            registry.counter(f"power.priced.f{fidelity}").inc()
         dead = {
             "area_mm2": math.inf,
             "spec_violation": math.inf,
             "throughput_samples_per_s": 0.0,
         }
+        if self._power_model is not None:
+            dead["energy_nj_per_sample"] = math.inf
+            dead["power_mw"] = math.inf
         try:
             realization = self._realization(structure, family, allocation)
         except FilterDesignError:
@@ -223,16 +278,18 @@ class IIRMetacoreEvaluator:
             realization, self.spec.filter_spec, word_length, grid_points
         )
         violation = report.violation(self.spec.filter_spec)
+        stats = realization.dataflow()
         try:
             estimate: SynthesisEstimate = estimate_iir_implementation(
-                realization.dataflow(),
+                stats,
                 word_length,
                 self.spec.sample_period_us,
                 feature_um=self.spec.feature_um,
+                delay_scale=self._delay_scale,
             )
         except SynthesisError:
             return dead
-        return {
+        metrics = {
             "area_mm2": estimate.area_mm2,
             "spec_violation": violation,
             "passband_ripple": report.passband_ripple,
@@ -244,6 +301,13 @@ class IIRMetacoreEvaluator:
             "throughput_samples_per_s": estimate.throughput_samples_per_s,
             "latency_us": estimate.latency_us,
         }
+        if self._power_model is not None:
+            power = self._power_model.iir_report(
+                stats, word_length, estimate
+            )
+            metrics["energy_nj_per_sample"] = power.energy_nj
+            metrics["power_mw"] = power.power_mw
+        return metrics
 
 
 @dataclass

@@ -285,6 +285,18 @@ def format_trace_report(summary: TraceSummary) -> str:
             f"kernel: {kernel} — {int(frames)} frames decoded in "
             f"{decode_s:.3f}s ({steps_per_s / 1e3:.1f}k trellis steps/s)"
         )
+    power_priced = summary.counter_value("power.priced")
+    if power_priced:
+        shares = []
+        for name in sorted(summary.metrics):
+            if name.startswith("power.priced.f"):
+                count = summary.counter_value(name)
+                pct = 100.0 * count / power_priced if power_priced else 0.0
+                shares.append(f"{name[len('power.priced.'):]}={pct:.0f}%")
+        detail = f" ({', '.join(shares)})" if shares else ""
+        lines.append(
+            f"power: {int(power_priced)} evaluations energy-priced{detail}"
+        )
     counters = {
         name: snap
         for name, snap in sorted(summary.metrics.items())
@@ -304,6 +316,7 @@ def format_trace_report(summary: TraceSummary) -> str:
         )
         and not name.startswith("ber.kernel.")
         and not name.startswith("cluster.")
+        and not name.startswith("power.")
     }
     if counters:
         lines.append("")

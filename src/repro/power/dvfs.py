@@ -1,0 +1,111 @@
+"""DVFS operating points with Vdd/Vth-derived frequency bounds.
+
+The clock model in :mod:`repro.hardware.clock` answers "how fast is
+this feature size at its *nominal* supply"; dynamic voltage/frequency
+scaling trades that speed against energy by moving the supply.  The
+achievable frequency follows the alpha-power-law delay model::
+
+    f(vdd)  ∝  (vdd - vth)^alpha / vdd
+
+normalized so that the nominal supply reproduces ``clock_mhz`` exactly
+— a power-enabled evaluation at nominal Vdd prices the *same* machines
+as a power-disabled one, which the bit-identity gates rely on.
+
+The usable supply window is bounded the way lumos bounds it: an upper
+overdrive ratio above nominal, and a lower bound a safety margin above
+the threshold voltage (the alpha-power law collapses to zero frequency
+at vth; real near-threshold operation stops well before that).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.errors import ConfigurationError
+from repro.hardware.clock import TR4101_WIDTH_BITS, clock_mhz
+from repro.power.technology import TechnologyNode
+
+#: Velocity-saturation exponent of the alpha-power delay model (short
+#: channel devices; alpha = 2 would be the classic long-channel law).
+ALPHA = 1.3
+
+#: Largest overdrive supply, as a ratio of the nominal Vdd.
+DVFS_UPPER_RATIO = 1.3
+
+#: The supply must clear the threshold by this margin (volts) — below
+#: it the delay model diverges and circuits stop switching reliably.
+NEAR_THRESHOLD_MARGIN_V = 0.15
+
+
+def dvfs_bounds(node: TechnologyNode) -> Tuple[float, float]:
+    """(lowest, highest) usable supply voltage of a technology node."""
+    return (
+        node.vth_v + NEAR_THRESHOLD_MARGIN_V,
+        node.vdd_nominal_v * DVFS_UPPER_RATIO,
+    )
+
+
+def frequency_scale(node: TechnologyNode, vdd_v: float) -> float:
+    """Clock-frequency ratio at ``vdd_v`` relative to the nominal supply.
+
+    Exactly 1.0 at ``node.vdd_nominal_v`` (the numerator and the
+    normalizer are the same expression, so the ratio is bit-exact),
+    strictly increasing in Vdd over the usable window.
+    """
+    low, high = dvfs_bounds(node)
+    if not low <= vdd_v <= high:
+        raise ConfigurationError(
+            f"vdd {vdd_v:.3g} V outside the {low:.3g}-{high:.3g} V DVFS "
+            f"window of the {node.feature_um:g} um node"
+        )
+    scaled = (vdd_v - node.vth_v) ** ALPHA / vdd_v
+    nominal = (node.vdd_nominal_v - node.vth_v) ** ALPHA / node.vdd_nominal_v
+    return scaled / nominal
+
+
+def max_frequency_mhz(
+    node: TechnologyNode,
+    vdd_v: float,
+    width_bits: int = TR4101_WIDTH_BITS,
+) -> float:
+    """Maximum clock rate of a node at a supply voltage.
+
+    Anchored so that ``max_frequency_mhz(node, node.vdd_nominal_v, w)``
+    equals ``clock_mhz(node.feature_um, w)`` exactly.
+    """
+    return clock_mhz(node.feature_um, width_bits) * frequency_scale(
+        node, vdd_v
+    )
+
+
+@dataclass(frozen=True)
+class OperatingPoint:
+    """One chosen (technology node, supply voltage) pair.
+
+    Validates the supply against the node's DVFS window at construction
+    so every downstream consumer can assume a legal operating point.
+    """
+
+    node: TechnologyNode
+    vdd_v: float
+
+    def __post_init__(self) -> None:
+        low, high = dvfs_bounds(self.node)
+        if not low <= self.vdd_v <= high:
+            raise ConfigurationError(
+                f"vdd {self.vdd_v:.3g} V outside the {low:.3g}-{high:.3g} V "
+                f"DVFS window of the {self.node.feature_um:g} um node"
+            )
+
+    @classmethod
+    def nominal(cls, node: TechnologyNode) -> "OperatingPoint":
+        return cls(node=node, vdd_v=node.vdd_nominal_v)
+
+    @property
+    def frequency_scale(self) -> float:
+        """Clock ratio vs the nominal supply (1.0 exactly at nominal)."""
+        return frequency_scale(self.node, self.vdd_v)
+
+    def frequency_mhz(self, width_bits: int = TR4101_WIDTH_BITS) -> float:
+        return max_frequency_mhz(self.node, self.vdd_v, width_bits)

@@ -108,13 +108,18 @@ def spec_to_payload(spec: object) -> Dict[str, Any]:
     from repro.viterbi.metacore import ViterbiSpec
 
     if isinstance(spec, ViterbiSpec):
-        return {
+        payload = {
             "kind": "viterbi",
             "throughput_bps": spec.throughput_bps,
             "ber_curve": [list(pair) for pair in spec.ber_curve.points],
             "feature_um": spec.feature_um,
             "seed": spec.seed,
         }
+        # Only power-enabled specs carry the key: the power-off wire
+        # format stays byte-identical to pre-power clients/servers.
+        if spec.power is not None:
+            payload["power"] = spec.power.to_payload()
+        return payload
     if isinstance(spec, IIRSpec):
         filter_spec = spec.filter_spec
         if isinstance(filter_spec, LowpassSpec):
@@ -139,12 +144,15 @@ def spec_to_payload(spec: object) -> Dict[str, Any]:
             raise ConfigurationError(
                 f"unsupported filter spec {type(filter_spec).__name__}"
             )
-        return {
+        payload = {
             "kind": "iir",
             "sample_period_us": spec.sample_period_us,
             "feature_um": spec.feature_um,
             "filter": filter_payload,
         }
+        if spec.power is not None:
+            payload["power"] = spec.power.to_payload()
+        return payload
     raise ConfigurationError(
         f"cannot serialize specification of type {type(spec).__name__}"
     )
@@ -157,6 +165,7 @@ def spec_from_payload(payload: Dict[str, Any]) -> object:
     kind = payload.get("kind")
     if kind == "viterbi":
         from repro.core.objectives import BERThresholdCurve
+        from repro.power import PowerConfig
         from repro.viterbi.ber import DEFAULT_SEED
         from repro.viterbi.metacore import ViterbiSpec
 
@@ -173,10 +182,12 @@ def spec_from_payload(payload: Dict[str, Any]) -> object:
             ber_curve=curve,
             feature_um=float(payload.get("feature_um", 0.25)),
             seed=int(payload.get("seed", DEFAULT_SEED)),
+            power=PowerConfig.from_payload(payload.get("power")),
         )
     if kind == "iir":
         from repro.iir.design import BandpassSpec, LowpassSpec
         from repro.iir.metacore import IIRSpec
+        from repro.power import PowerConfig
 
         filter_payload = payload.get("filter")
         if not isinstance(filter_payload, dict):
@@ -206,5 +217,6 @@ def spec_from_payload(payload: Dict[str, Any]) -> object:
             filter_spec=filter_spec,
             sample_period_us=float(payload["sample_period_us"]),
             feature_um=float(payload.get("feature_um", 1.2)),
+            power=PowerConfig.from_payload(payload.get("power")),
         )
     raise ConfigurationError(f"unknown spec kind {kind!r}")

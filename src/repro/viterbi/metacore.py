@@ -20,7 +20,12 @@ from dataclasses import dataclass, field, replace
 from typing import Dict, Optional, Sequence, Tuple
 
 from repro.core.evalcache import PersistentEvalCache
-from repro.core.objectives import BERThresholdCurve, DesignGoal, Objective
+from repro.core.objectives import (
+    BERThresholdCurve,
+    Constraint,
+    DesignGoal,
+    Objective,
+)
 from repro.core.parallel import ParallelEvaluator
 from repro.core.parameters import (
     Correlation,
@@ -32,6 +37,8 @@ from repro.core.search import MetacoreSearch, SearchConfig, SearchResult
 from repro.errors import ConfigurationError, SynthesisError
 from repro.hardware.trace import ViterbiInstanceParams, viterbi_program
 from repro.hardware.vliw import ImplementationEstimate, optimize_machine
+from repro.observability.metrics import get_registry
+from repro.power import PowerConfig, PowerModel
 from repro.viterbi.ber import BERSimulator, DEFAULT_SEED
 from repro.viterbi.bounds import estimate_ber
 from repro.viterbi.decoder import ViterbiDecoder
@@ -248,15 +255,40 @@ class ViterbiSpec:
     ber_curve: BERThresholdCurve
     feature_um: float = 0.25
     seed: int = DEFAULT_SEED
+    #: Opt-in power pricing (see :mod:`repro.power`); None keeps the
+    #: classic 2-metric cost engine and its fingerprints untouched.
+    power: Optional[PowerConfig] = None
 
     def __post_init__(self) -> None:
         if self.throughput_bps <= 0:
             raise ConfigurationError("throughput must be positive")
 
     def goal(self) -> DesignGoal:
-        """Minimize area subject to the specification's BER curve."""
+        """Minimize area subject to the specification's BER curve.
+
+        With power pricing enabled, energy per decoded bit joins the
+        objectives (unless configured constraint-only) and the
+        configured energy/power caps become constraints — the goal is
+        then genuinely 3-objective: area, energy, BER feasibility.
+        """
+        objectives = [Objective("area_mm2")]
+        constraints = []
+        if self.power is not None:
+            if self.power.objective:
+                objectives.append(Objective("energy_nj_per_bit"))
+            if self.power.max_energy_nj is not None:
+                constraints.append(
+                    Constraint(
+                        "energy_nj_per_bit", upper=self.power.max_energy_nj
+                    )
+                )
+            if self.power.max_power_mw is not None:
+                constraints.append(
+                    Constraint("power_mw", upper=self.power.max_power_mw)
+                )
         return DesignGoal(
-            objectives=[Objective("area_mm2")],
+            objectives=objectives,
+            constraints=constraints,
             ber_curve=self.ber_curve,
         )
 
@@ -288,6 +320,18 @@ class ViterbiMetacoreEvaluator:
         self.kernel = kernel
         self.max_fidelity = len(FIDELITY_BUDGETS) - 1
         self._simulators: Dict[Tuple[int, Tuple[int, ...]], BERSimulator] = {}
+        self._power_model: Optional[PowerModel] = (
+            PowerModel.for_spec(spec.feature_um, spec.power)
+            if spec.power is not None
+            else None
+        )
+        #: DVFS clock ratio; exactly 1.0 with power off or nominal Vdd,
+        #: keeping non-energy metrics bit-identical in both cases.
+        self._freq_scale: float = (
+            self._power_model.frequency_scale
+            if self._power_model is not None
+            else 1.0
+        )
 
     def fingerprint(self) -> str:
         """Cross-run cache key: everything that can change a metric.
@@ -302,6 +346,14 @@ class ViterbiMetacoreEvaluator:
         curve = ";".join(
             f"{es:.6g}:{thr:.6g}" for es, thr in self.spec.ber_curve.points
         )
+        # Power pricing adds energy metrics (and can rescale the clock),
+        # so enabled configs get their own cache namespace; the default
+        # power-off fingerprint is byte-identical to the pre-power one.
+        power = (
+            self.spec.power.fingerprint_fragment()
+            if self.spec.power is not None
+            else ""
+        )
         return (
             f"viterbi:v{repro.__version__}"
             f":seed={self.spec.seed}"
@@ -311,6 +363,7 @@ class ViterbiMetacoreEvaluator:
             f":throughput={self.spec.throughput_bps:.6g}"
             f":feature={self.spec.feature_um:.6g}"
             f":curve={curve}"
+            f"{power}"
         )
 
     # -- BER ------------------------------------------------------------
@@ -391,25 +444,42 @@ class ViterbiMetacoreEvaluator:
 
     def _hardware_metrics(self, point: Point) -> Dict[str, float]:
         program = viterbi_program(instance_params(point))
+        # At a non-nominal supply every machine clocks freq_scale times
+        # its nominal rate, so the nominal-clock optimizer must hit the
+        # correspondingly rescaled throughput target (exact no-op at
+        # freq_scale == 1.0, i.e. power off or nominal Vdd).
+        freq_scale = self._freq_scale
         try:
             estimate: ImplementationEstimate = optimize_machine(
                 program,
-                self.spec.throughput_bps,
+                self.spec.throughput_bps / freq_scale,
                 feature_um=self.spec.feature_um,
             )
         except SynthesisError:
-            return {
+            dead = {
                 "area_mm2": math.inf,
                 "throughput_bps": 0.0,
                 "hw_feasible": 0.0,
             }
-        return {
+            if self._power_model is not None:
+                dead["energy_nj_per_bit"] = math.inf
+                dead["power_mw"] = math.inf
+            return dead
+        throughput = estimate.throughput_bps * freq_scale
+        metrics = {
             "area_mm2": estimate.area_mm2,
-            "throughput_bps": estimate.throughput_bps,
+            "throughput_bps": throughput,
             "cycles_per_bit": estimate.schedule.cycles,
             "n_alus": float(estimate.machine.n_alus),
             "hw_feasible": 1.0,
         }
+        if self._power_model is not None:
+            report = self._power_model.viterbi_report(
+                program, estimate.machine, bits_per_s=throughput
+            )
+            metrics["energy_nj_per_bit"] = report.energy_nj
+            metrics["power_mw"] = report.power_mw
+        return metrics
 
     # -- evaluator protocol ----------------------------------------------
 
@@ -418,6 +488,10 @@ class ViterbiMetacoreEvaluator:
         if not 0 <= fidelity <= self.max_fidelity:
             raise ConfigurationError(f"fidelity {fidelity} out of range")
         point = normalize_viterbi_point(point)
+        if self._power_model is not None:
+            registry = get_registry()
+            registry.counter("power.priced").inc()
+            registry.counter(f"power.priced.f{fidelity}").inc()
         metrics = self._hardware_metrics(point)
         if math.isinf(metrics["area_mm2"]):
             # No machine reaches the throughput: skip the (expensive)

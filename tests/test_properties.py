@@ -572,3 +572,156 @@ class TestGridProperties:
         # Points are unique.
         keys = {tuple(sorted(p.items())) for p in grid.points}
         assert len(keys) == len(grid.points)
+
+
+class TestPowerProperties:
+    """Invariants of the power-aware cost engine (repro.power)."""
+
+    THREE_OBJECTIVES = [
+        Objective("area_mm2", Direction.MINIMIZE),
+        Objective("energy_nj_per_bit", Direction.MINIMIZE),
+        Objective("throughput_bps", Direction.MAXIMIZE),
+    ]
+
+    METRICS3 = st.fixed_dictionaries(
+        {
+            "area_mm2": st.sampled_from((0.0, 1.0, 2.0)),
+            "energy_nj_per_bit": st.sampled_from((0.0, 1.0, 2.0)),
+            "throughput_bps": st.sampled_from((0.0, 1.0, 2.0)),
+        }
+    )
+
+    @staticmethod
+    def _records(metric_dicts):
+        return [
+            EvaluationRecord(point=(("x", i),), fidelity=1, metrics=m)
+            for i, m in enumerate(metric_dicts)
+        ]
+
+    @given(
+        k=st.integers(3, 7),
+        f_lo=st.integers(0, 9),
+        f_step=st.integers(1, 9),
+        width=st.sampled_from((8, 16, 32, 64)),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_energy_monotone_in_feature_size(self, k, f_lo, f_step, width):
+        """Dynamic energy never decreases when the feature size grows."""
+        import dataclasses
+
+        from repro.hardware import MachineConfig, estimate_energy
+        from repro.hardware.trace import viterbi_program
+        from repro.viterbi.metacore import instance_params, normalize_viterbi_point
+
+        point = normalize_viterbi_point(
+            {"G": "standard", "N": 1, "K": k, "Q": "hard",
+             "L_mult": 5, "R1": 3, "R2": 4, "M": 0}
+        )
+        program = viterbi_program(instance_params(point))
+        features = (0.13 + 0.05 * f_lo, 0.13 + 0.05 * (f_lo + f_step))
+        machines = [
+            MachineConfig(n_alus=2, feature_um=f, datapath_width=width)
+            for f in features
+        ]
+        energies = [
+            estimate_energy(program, machine).total_pj
+            for machine in machines
+        ]
+        assert energies[0] <= energies[1]
+
+    @given(
+        k=st.integers(3, 7),
+        w_lo=st.integers(4, 60),
+        w_step=st.integers(1, 32),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_energy_monotone_in_datapath_width(self, k, w_lo, w_step):
+        """Dynamic energy never decreases when the datapath widens."""
+        from repro.hardware import MachineConfig, estimate_energy
+        from repro.hardware.trace import viterbi_program
+        from repro.viterbi.metacore import instance_params, normalize_viterbi_point
+
+        point = normalize_viterbi_point(
+            {"G": "standard", "N": 1, "K": k, "Q": "hard",
+             "L_mult": 5, "R1": 3, "R2": 4, "M": 0}
+        )
+        program = viterbi_program(instance_params(point))
+        energies = [
+            estimate_energy(
+                program,
+                MachineConfig(
+                    n_alus=2, feature_um=0.25, datapath_width=w
+                ),
+            ).total_pj
+            for w in (w_lo, w_lo + w_step)
+        ]
+        assert energies[0] <= energies[1]
+
+    @given(
+        feature=st.sampled_from((0.13, 0.18, 0.25, 0.35, 0.6, 0.8, 1.2)),
+        t_lo=st.floats(0.0, 1.0),
+        t_hi=st.floats(0.0, 1.0),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_dvfs_frequency_monotone_in_vdd(self, feature, t_lo, t_hi):
+        """Max clock frequency never decreases with the supply."""
+        from repro.power import dvfs_bounds, max_frequency_mhz, technology_node
+
+        node = technology_node(feature)
+        low, high = dvfs_bounds(node)
+        va, vb = sorted(
+            (low + (high - low) * t_lo, low + (high - low) * t_hi)
+        )
+        assert max_frequency_mhz(node, va) <= max_frequency_mhz(node, vb)
+
+    @given(ma=METRICS3, mb=METRICS3)
+    @settings(max_examples=60, deadline=None)
+    def test_three_objective_dominance_antisymmetric(self, ma, mb):
+        assert not dominates(ma, ma, self.THREE_OBJECTIVES)
+        assert not (
+            dominates(ma, mb, self.THREE_OBJECTIVES)
+            and dominates(mb, ma, self.THREE_OBJECTIVES)
+        )
+
+    @given(pool=st.lists(METRICS3, min_size=1, max_size=12))
+    @settings(max_examples=60, deadline=None)
+    def test_three_objective_front_minimal_and_complete(self, pool):
+        """3-objective fronts keep the 2-objective invariants: no member
+        dominates another; every excluded record is dominated."""
+        records = self._records(pool)
+        front = pareto_front(records, self.THREE_OBJECTIVES)
+        for record in front:
+            for other in front:
+                if record is not other:
+                    assert not dominates(
+                        record.metrics, other.metrics, self.THREE_OBJECTIVES
+                    )
+        front_points = {r.point for r in front}
+        for record in records:
+            if record.point not in front_points:
+                assert any(
+                    dominates(
+                        member.metrics, record.metrics, self.THREE_OBJECTIVES
+                    )
+                    for member in front
+                )
+
+    @given(
+        pool=st.lists(METRICS3, min_size=1, max_size=12),
+        seed=st.integers(0, 1000),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_three_objective_front_order_deterministic(self, pool, seed):
+        """front_sort_key gives one canonical order on the energy axis
+        too, independent of insertion order."""
+        records = self._records(pool)
+        shuffled = records[:]
+        np.random.default_rng(seed).shuffle(shuffled)
+        base = pareto_front(records, self.THREE_OBJECTIVES)
+        again = pareto_front(shuffled, self.THREE_OBJECTIVES)
+        assert [r.point for r in base] == [r.point for r in again]
+        assert [
+            front_sort_key(r, self.THREE_OBJECTIVES) for r in base
+        ] == sorted(
+            front_sort_key(r, self.THREE_OBJECTIVES) for r in base
+        )
